@@ -1,0 +1,141 @@
+// Ablation of the paper's two orthogonal techniques (Sec. 5), the buffer
+// size, and the declustering strategy:
+//   (a) I/O sharing OFF + avoidance OFF  — plain per-query execution
+//   (b) I/O sharing ON  + avoidance OFF  — Sec. 5.1 only
+//   (c) I/O sharing ON  + avoidance ON   — the full multiple query
+// (Avoidance without I/O sharing is meaningless: there are no shared
+// per-object distances to exploit.)
+
+#include "bench/bench_common.h"
+#include "parallel/cluster.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+RunResult RunWithOptions(const Workload& w, BackendKind backend, size_t m,
+                         bool share_io, bool avoid) {
+  DatabaseOptions options;
+  options.backend = backend;
+  options.xtree_dynamic_build = true;
+  options.multi.max_batch_size = std::max<size_t>(m, 2);
+  options.multi.buffer_capacity = 4 * options.multi.max_batch_size;
+  options.multi.enable_io_sharing = share_io;
+  options.multi.enable_triangle_avoidance = avoid;
+  auto db = MetricDatabase::Open(w.dataset, BenchMetric(), options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return RunBlocks(db->get(), w, m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("n_astro", "30000", "astronomy surrogate size");
+  flags.Define("num_queries", "100", "queries per configuration");
+  flags.Define("m", "50", "multiple-query batch width");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const size_t m = static_cast<size_t>(flags.GetInt("m"));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+  const Workload w = MakeAstroWorkload(
+      static_cast<size_t>(flags.GetInt("n_astro")), num_queries);
+
+  std::printf("Ablation — the two orthogonal techniques of Sec. 5 "
+              "(m=%zu, %s)\n", m, w.name.c_str());
+  std::printf("%-12s %-34s %10s %10s %12s\n", "backend", "configuration",
+              "io ms/q", "cpu ms/q", "total ms/q");
+  for (BackendKind backend :
+       {BackendKind::kLinearScan, BackendKind::kXTree}) {
+    struct Config {
+      const char* name;
+      bool share_io, avoid;
+    };
+    for (const Config& c :
+         {Config{"(a) no sharing, no avoidance", false, false},
+          Config{"(b) I/O sharing only", true, false},
+          Config{"(c) sharing + triangle avoidance", true, true}}) {
+      const RunResult r = RunWithOptions(w, backend, m, c.share_io, c.avoid);
+      std::printf("%-12s %-34s %10.2f %10.2f %12.2f\n",
+                  BackendKindName(backend).c_str(), c.name,
+                  r.io_ms_per_query, r.cpu_ms_per_query,
+                  r.total_ms_per_query);
+    }
+  }
+
+  // Buffer-size sensitivity (the paper fixes 10% of the index size).
+  std::printf("\nBuffer-pool sensitivity (xtree, m=%zu):\n", m);
+  std::printf("%-18s %10s %12s\n", "buffer fraction", "io ms/q",
+              "buffer hits/q");
+  for (double fraction : {0.0, 0.05, 0.10, 0.25, 0.50}) {
+    DatabaseOptions options;
+    options.backend = BackendKind::kXTree;
+    options.xtree_dynamic_build = true;
+    options.buffer_fraction = fraction;
+    options.multi.max_batch_size = std::max<size_t>(m, 2);
+    auto db = MetricDatabase::Open(w.dataset, BenchMetric(), options);
+    if (!db.ok()) {
+      std::printf("open failed: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    const RunResult r = RunBlocks(db->get(), w, m);
+    std::printf("%-18.2f %10.2f %12.2f\n", fraction, r.io_ms_per_query,
+                static_cast<double>(r.stats.buffer_hits) /
+                    static_cast<double>(r.num_queries));
+  }
+
+  // Declustering strategies (the paper's future-work question).
+  std::printf("\nDeclustering strategies (xtree, s=8, m=%zu):\n", m);
+  std::printf("%-14s %16s %18s\n", "strategy", "elapsed ms/q",
+              "max/min server ms");
+  for (DeclusterStrategy strategy :
+       {DeclusterStrategy::kRoundRobin, DeclusterStrategy::kRandom,
+        DeclusterStrategy::kChunked, DeclusterStrategy::kSpatial}) {
+    ClusterOptions cluster_options;
+    cluster_options.num_servers = 8;
+    cluster_options.strategy = strategy;
+    cluster_options.server_options.backend = BackendKind::kXTree;
+    cluster_options.server_options.xtree_dynamic_build = true;
+    cluster_options.server_options.multi.max_batch_size =
+        std::max<size_t>(num_queries, 2);
+    auto cluster =
+        SharedNothingCluster::Create(w.dataset, BenchMetric(),
+                                     cluster_options);
+    if (!cluster.ok()) {
+      std::printf("cluster create failed: %s\n",
+                  cluster.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<Query> queries;
+    for (ObjectId id : w.queries) {
+      queries.push_back(Query{static_cast<QueryId>(id),
+                              w.dataset.object(id), QueryType::Knn(w.k)});
+    }
+    auto got = (*cluster)->ExecuteMultipleAll(queries);
+    if (!got.ok()) {
+      std::printf("parallel query failed: %s\n",
+                  got.status().ToString().c_str());
+      return 1;
+    }
+    double min_ms = 1e300, max_ms = 0.0;
+    for (size_t i = 0; i < (*cluster)->num_servers(); ++i) {
+      const double ms = (*cluster)->server(i).ModeledTotalMillis();
+      min_ms = std::min(min_ms, ms);
+      max_ms = std::max(max_ms, ms);
+    }
+    std::printf("%-14s %16.2f %11.1f/%-6.1f\n",
+                DeclusterStrategyName(strategy).c_str(),
+                (*cluster)->ModeledElapsedMillis() /
+                    static_cast<double>(queries.size()),
+                max_ms, min_ms);
+  }
+  return 0;
+}

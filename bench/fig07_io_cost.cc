@@ -1,0 +1,75 @@
+// Figure 7: average I/O cost per similarity query vs. the number m of
+// multiple similarity queries, for the linear scan and the X-tree on the
+// astronomy and image workloads.
+//
+// Paper reference points (1M / 112k objects, 1998 disk):
+//  * m=1: the X-tree beats the scan by 4.5x (astro) and 3.1x (image);
+//  * m=100: the scan's I/O falls by a factor of ~m; the X-tree's average
+//    I/O falls by 8.7x (astro) and 15x (image), ending up ABOVE the scan
+//    (1.5x / 3.6x the scan's cost).
+
+#include "bench/bench_common.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = FigureFlags();
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const auto m_values = flags.GetIntList("m_values");
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+
+  std::printf("Figure 7 — average I/O cost per similarity query\n");
+  std::printf("(modeled 1998 disk: %.1f ms random / %.1f ms sequential page)\n",
+              CostModel().random_page_ms, CostModel().seq_page_ms);
+
+  Workload workloads[2] = {
+      MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
+                        num_queries),
+      MakeImageWorkload(static_cast<size_t>(flags.GetInt("n_image")),
+                        num_queries),
+  };
+  const size_t max_m = static_cast<size_t>(
+      *std::max_element(m_values.begin(), m_values.end()));
+
+  for (const Workload& w : workloads) {
+    PrintHeader("Figure 7: " + w.name, "io ms/query");
+    double scan_m1 = 0.0, xtree_m1 = 0.0, scan_last = 0.0, xtree_last = 0.0;
+    for (BackendKind backend :
+         {BackendKind::kLinearScan, BackendKind::kXTree}) {
+      auto db = OpenBenchDb(w, backend, max_m);
+      for (int64_t m : m_values) {
+        const RunResult r = RunBlocks(db.get(), w, static_cast<size_t>(m));
+        std::printf("%-12s %-12s %6lld  %12.2f   (%.1f pages/query: %.2f rnd, %.2f seq, %.2f buffered)\n",
+                    w.name.c_str(), BackendKindName(backend).c_str(),
+                    static_cast<long long>(m), r.io_ms_per_query,
+                    r.pages_per_query,
+                    static_cast<double>(r.stats.random_page_reads) /
+                        static_cast<double>(r.num_queries),
+                    static_cast<double>(r.stats.seq_page_reads) /
+                        static_cast<double>(r.num_queries),
+                    static_cast<double>(r.stats.buffer_hits) /
+                        static_cast<double>(r.num_queries));
+        if (m == 1) {
+          (backend == BackendKind::kLinearScan ? scan_m1 : xtree_m1) =
+              r.io_ms_per_query;
+        }
+        (backend == BackendKind::kLinearScan ? scan_last : xtree_last) =
+            r.io_ms_per_query;
+      }
+    }
+    std::printf("summary[%s]: m=1 xtree/scan advantage %.1fx; "
+                "reduction at max m: scan %.1fx, xtree %.1fx; "
+                "xtree/scan at max m: %.2fx\n",
+                w.name.c_str(), xtree_m1 > 0 ? scan_m1 / xtree_m1 : 0.0,
+                scan_last > 0 ? scan_m1 / scan_last : 0.0,
+                xtree_last > 0 ? xtree_m1 / xtree_last : 0.0,
+                scan_last > 0 ? xtree_last / scan_last : 0.0);
+    std::printf("paper[astro]: 4.5x, ~m, 8.7x, 1.5x | paper[image]: 3.1x, ~m, 15x, 3.6x\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 8: average CPU cost per similarity query vs. m, for the linear
+// scan and the X-tree on both workloads.
+//
+// Paper reference points: increasing m from 1 to 100 cuts the scan's CPU
+// cost by 7.1x (astro) and 28x (image — clustered data lets the triangle
+// inequality disqualify whole clusters at once); the X-tree's CPU gain is
+// only ~2.1x on both, because it never visits the far-away objects that
+// are the easiest to avoid.
+
+#include "bench/bench_common.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = FigureFlags();
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const auto m_values = flags.GetIntList("m_values");
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+
+  std::printf("Figure 8 — average CPU cost per similarity query\n");
+  const CostModel model;
+  std::printf("(modeled Pentium-II CPU: %.2f us / 20-d distance, %.2f us / "
+              "64-d distance, %.3f us / triangle comparison)\n",
+              model.DistMicros(20), model.DistMicros(64),
+              model.triangle_cmp_micros);
+
+  Workload workloads[2] = {
+      MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
+                        num_queries),
+      MakeImageWorkload(static_cast<size_t>(flags.GetInt("n_image")),
+                        num_queries),
+  };
+  const size_t max_m = static_cast<size_t>(
+      *std::max_element(m_values.begin(), m_values.end()));
+
+  for (const Workload& w : workloads) {
+    PrintHeader("Figure 8: " + w.name, "cpu ms/query");
+    for (BackendKind backend :
+         {BackendKind::kLinearScan, BackendKind::kXTree}) {
+      double m1 = 0.0, last = 0.0;
+      auto db = OpenBenchDb(w, backend, max_m);
+      for (int64_t m : m_values) {
+        const RunResult r = RunBlocks(db.get(), w, static_cast<size_t>(m));
+        std::printf("%-12s %-12s %6lld  %12.2f   (%.0f dists/query, %.0f tries, %.0f avoided)\n",
+                    w.name.c_str(), BackendKindName(backend).c_str(),
+                    static_cast<long long>(m), r.cpu_ms_per_query,
+                    r.dists_per_query,
+                    static_cast<double>(r.stats.triangle_tries) /
+                        static_cast<double>(r.num_queries),
+                    static_cast<double>(r.stats.triangle_avoided) /
+                        static_cast<double>(r.num_queries));
+        if (m == 1) m1 = r.cpu_ms_per_query;
+        last = r.cpu_ms_per_query;
+      }
+      std::printf("summary[%s/%s]: CPU reduction m=1 -> m=max: %.1fx "
+                  "(paper: scan 7.1x astro / 28x image; xtree ~2.1x)\n",
+                  w.name.c_str(), BackendKindName(backend).c_str(),
+                  last > 0 ? m1 / last : 0.0);
+    }
+  }
+  return 0;
+}

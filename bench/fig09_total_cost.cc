@@ -1,0 +1,71 @@
+// Figure 9: average total (I/O + CPU) cost per similarity query vs. m.
+//
+// Paper reference points: total cost falls with m for both organizations;
+// on the scan the CPU share dominates beyond m>=20 (astro) / m>=100
+// (image); the X-tree stays I/O-bound for m<=100; and because the scan
+// profits more, it overtakes the X-tree for m>=10 (astro) / m>=100 (image).
+
+#include "bench/bench_common.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = FigureFlags();
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const auto m_values = flags.GetIntList("m_values");
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+
+  std::printf("Figure 9 — average total query cost per similarity query\n");
+
+  Workload workloads[2] = {
+      MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
+                        num_queries),
+      MakeImageWorkload(static_cast<size_t>(flags.GetInt("n_image")),
+                        num_queries),
+  };
+  const size_t max_m = static_cast<size_t>(
+      *std::max_element(m_values.begin(), m_values.end()));
+
+  for (const Workload& w : workloads) {
+    PrintHeader("Figure 9: " + w.name, "total ms/query");
+    std::vector<double> scan_totals, xtree_totals;
+    for (BackendKind backend :
+         {BackendKind::kLinearScan, BackendKind::kXTree}) {
+      auto db = OpenBenchDb(w, backend, max_m);
+      for (int64_t m : m_values) {
+        const RunResult r = RunBlocks(db.get(), w, static_cast<size_t>(m));
+        const char* bound =
+            r.cpu_ms_per_query > r.io_ms_per_query ? "CPU-bound" : "I/O-bound";
+        std::printf("%-12s %-12s %6lld  %12.2f   (io %.2f + cpu %.2f, %s)\n",
+                    w.name.c_str(), BackendKindName(backend).c_str(),
+                    static_cast<long long>(m), r.total_ms_per_query,
+                    r.io_ms_per_query, r.cpu_ms_per_query, bound);
+        (backend == BackendKind::kLinearScan ? scan_totals : xtree_totals)
+            .push_back(r.total_ms_per_query);
+      }
+    }
+    // Crossover: first m where the scan beats the X-tree.
+    long long crossover = -1;
+    for (size_t i = 0; i < m_values.size(); ++i) {
+      if (scan_totals[i] < xtree_totals[i]) {
+        crossover = m_values[i];
+        break;
+      }
+    }
+    if (crossover >= 0) {
+      std::printf("summary[%s]: scan overtakes xtree from m=%lld "
+                  "(paper: m>=10 astro, m>=100 image)\n",
+                  w.name.c_str(), crossover);
+    } else {
+      std::printf("summary[%s]: xtree stays ahead across the sweep "
+                  "(paper: scan overtakes at m>=10 astro / m>=100 image)\n",
+                  w.name.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 10: speed-up of multiple similarity queries with respect to m
+// (total cost per query at m=1 divided by total cost per query at m).
+//
+// Paper reference points at m=100: scan 28x (astro) and 68x (image);
+// X-tree 7.2x (astro) and 12.1x (image). The image database always shows
+// the larger factors because it is highly clustered.
+
+#include "bench/bench_common.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = FigureFlags();
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const auto m_values = flags.GetIntList("m_values");
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+
+  std::printf("Figure 10 — speed-up with respect to m (vs. m=1)\n");
+
+  Workload workloads[2] = {
+      MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
+                        num_queries),
+      MakeImageWorkload(static_cast<size_t>(flags.GetInt("n_image")),
+                        num_queries),
+  };
+  const size_t max_m = static_cast<size_t>(
+      *std::max_element(m_values.begin(), m_values.end()));
+
+  for (const Workload& w : workloads) {
+    PrintHeader("Figure 10: " + w.name, "speed-up");
+    for (BackendKind backend :
+         {BackendKind::kLinearScan, BackendKind::kXTree}) {
+      auto db = OpenBenchDb(w, backend, max_m);
+      double base = 0.0;
+      double prev = 0.0;
+      for (int64_t m : m_values) {
+        const RunResult r = RunBlocks(db.get(), w, static_cast<size_t>(m));
+        if (m == 1) base = r.total_ms_per_query;
+        const double speedup =
+            r.total_ms_per_query > 0 ? base / r.total_ms_per_query : 0.0;
+        std::printf("%-12s %-12s %6lld  %11.1fx\n", w.name.c_str(),
+                    BackendKindName(backend).c_str(),
+                    static_cast<long long>(m), speedup);
+        prev = speedup;
+      }
+      std::printf("summary[%s/%s]: speed-up at max m = %.1fx "
+                  "(paper at m=100: scan 28x astro / 68x image; "
+                  "xtree 7.2x astro / 12.1x image)\n",
+                  w.name.c_str(), BackendKindName(backend).c_str(), prev);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 12: OVERALL speed-up — parallel multiple similarity queries
+// (s servers, batch m = 100 * s) versus the classic sequential processing
+// of single similarity queries (s = 1, m = 1). This combines the gains of
+// the multiple-query transformation and of parallelization.
+//
+// Paper reference points: astro at s=16 — 374x (scan) and 128x (X-tree);
+// image at s=8 — 279x (scan) and 52x (X-tree).
+
+#include "bench/bench_common.h"
+#include "parallel/cluster.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+std::vector<Query> GlobalQueries(const Workload& w, size_t count) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count && i < w.queries.size(); ++i) {
+    queries.push_back(Query{static_cast<QueryId>(w.queries[i]),
+                            w.dataset.object(w.queries[i]),
+                            QueryType::Knn(w.k)});
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("n_astro", "250000", "astronomy surrogate size");
+  flags.Define("n_image", "30000", "image surrogate size");
+  flags.Define("s_values", "1,4,8,16", "server counts to sweep");
+  flags.Define("m_per_server", "100", "batch width per server (paper: 100)");
+  flags.Define("baseline_queries", "100",
+               "queries measured for the single-query baseline");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const auto s_values = flags.GetIntList("s_values");
+  const size_t m_per_server =
+      static_cast<size_t>(flags.GetInt("m_per_server"));
+  const size_t max_s = static_cast<size_t>(
+      *std::max_element(s_values.begin(), s_values.end()));
+
+  std::printf("Figure 12 — overall speed-up: parallel multiple queries vs. "
+              "sequential single queries\n");
+
+  Workload workloads[2] = {
+      MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
+                        m_per_server * max_s),
+      MakeImageWorkload(static_cast<size_t>(flags.GetInt("n_image")),
+                        m_per_server * max_s),
+  };
+
+  for (const Workload& w : workloads) {
+    std::printf("\n=== Figure 12: %s ===\n", w.name.c_str());
+    std::printf("%-12s %-12s %3s %6s  %12s\n", "workload", "backend", "s",
+                "m", "overall");
+    for (BackendKind backend :
+         {BackendKind::kLinearScan, BackendKind::kXTree}) {
+      // Baseline: sequential single similarity queries (m = 1).
+      Workload base_w = w;
+      base_w.queries.resize(std::min<size_t>(
+          base_w.queries.size(),
+          static_cast<size_t>(flags.GetInt("baseline_queries"))));
+      auto seq_db = OpenBenchDb(w, backend, 1);
+      const RunResult base = RunBlocks(seq_db.get(), base_w, 1);
+
+      for (int64_t s64 : s_values) {
+        const size_t s = static_cast<size_t>(s64);
+        const size_t batch = m_per_server * s;
+        ClusterOptions cluster_options;
+        cluster_options.num_servers = s;
+        cluster_options.strategy = DeclusterStrategy::kRoundRobin;
+        cluster_options.server_options.backend = backend;
+        cluster_options.server_options.xtree_dynamic_build = true;
+        cluster_options.server_options.multi.max_batch_size = batch;
+        cluster_options.server_options.multi.buffer_capacity = 2 * batch;
+        auto cluster = SharedNothingCluster::Create(w.dataset, BenchMetric(),
+                                                    cluster_options);
+        if (!cluster.ok()) {
+          std::printf("cluster create failed: %s\n",
+                      cluster.status().ToString().c_str());
+          return 1;
+        }
+        const std::vector<Query> queries = GlobalQueries(w, batch);
+        auto got = (*cluster)->ExecuteMultipleAll(queries);
+        if (!got.ok()) {
+          std::printf("parallel query failed: %s\n",
+                      got.status().ToString().c_str());
+          return 1;
+        }
+        const double per_query = (*cluster)->ModeledElapsedMillis() /
+                                 static_cast<double>(queries.size());
+        std::printf("%-12s %-12s %3zu %6zu  %11.0fx\n", w.name.c_str(),
+                    BackendKindName(backend).c_str(), s, batch,
+                    per_query > 0 ? base.total_ms_per_query / per_query
+                                  : 0.0);
+      }
+      std::printf("(paper: astro s=16 — scan 374x, xtree 128x; "
+                  "image s=8 — scan 279x, xtree 52x)\n");
+    }
+  }
+  return 0;
+}

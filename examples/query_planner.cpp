@@ -1,0 +1,103 @@
+// Cost-based routing and incremental consumption — the "DBMS operation"
+// view of multiple similarity queries (Sec. 7 argues they should be a
+// basic DBMS operation; this example shows the optimizer and cursor a
+// DBMS would put on top).
+//
+//   ./query_planner [n=40000] [dim=12] [k=10]
+
+#include <cstdio>
+
+#include "msq/msq.h"
+
+int main(int argc, char** argv) {
+  msq::Flags flags;
+  flags.Define("n", "40000", "database size");
+  flags.Define("dim", "12", "dimensionality");
+  flags.Define("k", "10", "nearest neighbors per query");
+  if (msq::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+
+  msq::Dataset data = msq::MakeGaussianClustersDataset(
+      static_cast<size_t>(flags.GetInt("n")),
+      static_cast<size_t>(flags.GetInt("dim")), 15, 0.04, 7);
+  auto metric = std::make_shared<msq::EuclideanMetric>();
+
+  // 1. The planner builds scan + X-tree and calibrates cost profiles.
+  msq::PlannerOptions options;
+  options.database.multi.max_batch_size = 256;
+  auto created = msq::QueryPlanner::Create(data, metric, options);
+  if (!created.ok()) {
+    std::printf("planner failed: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  auto planner = std::move(created).value();
+  std::printf("calibrated cost profiles (modeled ms per query):\n");
+  for (const msq::BackendProfile& p : planner->profiles()) {
+    std::printf("  %-12s single %8.2f   batched %8.2f\n",
+                msq::BackendKindName(p.kind).c_str(), p.single_query_ms,
+                p.batched_query_ms);
+  }
+
+  // 2. Routing decisions across batch widths.
+  std::printf("\nrouting decision by batch width:\n");
+  for (size_t m : {1, 2, 5, 10, 20, 50, 100, 500}) {
+    const msq::PlanDecision d = planner->Plan(m);
+    std::printf("  m=%-4zu -> %s\n", m,
+                msq::BackendKindName(d.chosen).c_str());
+  }
+
+  // 3. Execute two batches and show they land on different backends.
+  msq::MetricDatabase* db = planner->database(msq::BackendKind::kLinearScan);
+  msq::Rng rng(99);
+  auto make_batch = [&](size_t m) {
+    std::vector<msq::Query> batch;
+    for (uint64_t id : rng.SampleWithoutReplacement(data.size(), m)) {
+      batch.push_back(db->MakeObjectKnnQuery(static_cast<msq::ObjectId>(id),
+                                             k));
+    }
+    return batch;
+  };
+  for (size_t m : {1, 200}) {
+    auto got = planner->ExecuteBatch(make_batch(m));
+    if (!got.ok()) {
+      std::printf("batch failed: %s\n", got.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nbatch of %-4zu -> routed to %s (%zu answer sets)\n", m,
+                msq::BackendKindName(planner->decisions().back().chosen)
+                    .c_str(),
+                got->size());
+  }
+
+  // 4. Incremental consumption with a cursor: complete queries pop one by
+  //    one while the rest are prefetched; Peek() shows partial answers.
+  msq::MetricDatabase* xdb = planner->database(msq::BackendKind::kXTree);
+  msq::MultiQueryCursor cursor(&xdb->engine(), nullptr);
+  auto pending = make_batch(8);
+  if (msq::Status s = cursor.Push(pending); !s.ok()) {
+    std::printf("push failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncursor over %zu queries:\n", cursor.pending());
+  auto first = cursor.Next();
+  if (!first.ok()) {
+    std::printf("cursor failed: %s\n", first.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  completed query %llu (%zu answers)\n",
+              static_cast<unsigned long long>(first->id),
+              first->answers.size());
+  for (size_t i = 0; i < cursor.pending(); ++i) {
+    auto partial = cursor.Peek(i);
+    std::printf("  pending #%zu already has %zu prefetched answers\n", i,
+                partial.ok() ? partial->size() : 0);
+  }
+  while (cursor.HasNext()) {
+    if (!cursor.Next().ok()) return 1;
+  }
+  std::printf("  drained; %zu queries completed total\n", cursor.completed());
+  return 0;
+}

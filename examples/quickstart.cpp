@@ -1,0 +1,99 @@
+// Quickstart: open a metric database, run a single similarity query, then
+// run the same workload as ONE multiple similarity query and compare the
+// costs — the paper's core idea in ~80 lines.
+//
+//   ./quickstart [n=20000] [dim=16] [m=25] [k=10] [backend=xtree]
+
+#include <cstdio>
+
+#include "msq/msq.h"
+
+int main(int argc, char** argv) {
+  msq::Flags flags;
+  flags.Define("n", "20000", "database size");
+  flags.Define("dim", "16", "dimensionality");
+  flags.Define("m", "25", "queries per multiple similarity query");
+  flags.Define("k", "10", "nearest neighbors per query");
+  flags.Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  if (msq::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const size_t dim = static_cast<size_t>(flags.GetInt("dim"));
+  const size_t m = static_cast<size_t>(flags.GetInt("m"));
+  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+
+  // 1. A synthetic clustered dataset and the Euclidean metric.
+  msq::Dataset data =
+      msq::MakeGaussianClustersDataset(n, dim, /*num_clusters=*/12,
+                                       /*stddev=*/0.05, /*seed=*/42);
+  auto metric = std::make_shared<msq::EuclideanMetric>();
+
+  // 2. Open the database with the chosen storage organization.
+  msq::DatabaseOptions options;
+  const std::string backend = flags.GetString("backend");
+  options.backend = backend == "linear_scan" ? msq::BackendKind::kLinearScan
+                    : backend == "mtree"     ? msq::BackendKind::kMTree
+                    : backend == "va_file"   ? msq::BackendKind::kVaFile
+                                             : msq::BackendKind::kXTree;
+  auto opened = msq::MetricDatabase::Open(std::move(data), metric, options);
+  if (!opened.ok()) {
+    std::printf("open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<msq::MetricDatabase> db = std::move(opened).value();
+  std::printf("database: %zu objects, %zu-d, backend=%s, %zu data pages\n\n",
+              db->dataset().size(), db->dataset().dim(),
+              db->backend().Name().c_str(), db->backend().NumDataPages());
+
+  // 3. One single similarity query (Definition 3 / Figure 1).
+  msq::Query single = db->MakeObjectKnnQuery(/*id=*/0, k);
+  auto answers = db->SimilarityQuery(single);
+  if (!answers.ok()) {
+    std::printf("query failed: %s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu nearest neighbors of object 0:\n", answers->size());
+  for (const msq::Neighbor& nb : *answers) {
+    std::printf("  object %-8u dist %.4f\n", nb.id, nb.distance);
+  }
+  std::printf("single-query cost: %s\n  modeled I/O %.2f ms, CPU %.2f ms\n\n",
+              db->stats().ToString().c_str(), db->ModeledIoMillis(),
+              db->ModeledCpuMillis());
+
+  // 4. The same job for m query objects, once as m single queries ...
+  msq::Rng rng(7);
+  std::vector<msq::ObjectId> ids;
+  for (uint64_t id : rng.SampleWithoutReplacement(db->dataset().size(), m)) {
+    ids.push_back(static_cast<msq::ObjectId>(id));
+  }
+  db->ResetAll();
+  for (msq::ObjectId id : ids) {
+    if (auto got = db->SimilarityQuery(db->MakeObjectKnnQuery(id, k));
+        !got.ok()) {
+      std::printf("query failed: %s\n", got.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double single_ms = db->ModeledTotalMillis();
+  std::printf("%zu single similarity queries : %8.2f ms modeled (%s)\n", m,
+              single_ms, db->stats().ToString().c_str());
+
+  // 5. ... and once as one multiple similarity query (Definition 4).
+  db->ResetAll();
+  std::vector<msq::Query> batch;
+  for (msq::ObjectId id : ids) batch.push_back(db->MakeObjectKnnQuery(id, k));
+  auto all = db->MultipleSimilarityQueryAll(batch);
+  if (!all.ok()) {
+    std::printf("multiple query failed: %s\n",
+                all.status().ToString().c_str());
+    return 1;
+  }
+  const double multi_ms = db->ModeledTotalMillis();
+  std::printf("1 multiple similarity query   : %8.2f ms modeled (%s)\n",
+              multi_ms, db->stats().ToString().c_str());
+  std::printf("\nspeed-up from batching: %.1fx\n",
+              multi_ms > 0 ? single_ms / multi_ms : 0.0);
+  return 0;
+}

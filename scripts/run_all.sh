@@ -1,0 +1,8 @@
+#!/bin/sh
+# Build, test, and regenerate every figure of the paper's evaluation.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do [ -f "$b" ] && [ -x "$b" ] && "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,76 @@
+#include "common/flags.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace msq {
+
+void Flags::Define(const std::string& key, const std::string& default_value,
+                   const std::string& help) {
+  entries_[key] = Entry{default_value, help};
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h" || arg == "help") {
+      return Status::NotFound(Usage(argv[0]));
+    }
+    // Tolerate a leading "--" so both `key=v` and `--key=v` work.
+    if (arg.rfind("--", 0) == 0) arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got '" + arg + "'");
+    }
+    const std::string key = arg.substr(0, eq);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return Status::InvalidArgument("unknown flag '" + key + "'\n" +
+                                     Usage(argv[0]));
+    }
+    it->second.value = arg.substr(eq + 1);
+  }
+  return Status::OK();
+}
+
+std::string Flags::GetString(const std::string& key) const {
+  auto it = entries_.find(key);
+  assert(it != entries_.end() && "flag not defined");
+  return it->second.value;
+}
+
+int64_t Flags::GetInt(const std::string& key) const {
+  return std::strtoll(GetString(key).c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key) const {
+  return std::strtod(GetString(key).c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key) const {
+  const std::string v = GetString(key);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<int64_t> Flags::GetIntList(const std::string& key) const {
+  std::vector<int64_t> out;
+  std::stringstream ss(GetString(key));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::string Flags::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [key=value]...\n";
+  for (const auto& [key, entry] : entries_) {
+    os << "  " << key << " (default: " << entry.value << ") — " << entry.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace msq

@@ -1,0 +1,51 @@
+// Tiny key=value command-line parser used by benches and examples, so every
+// experiment binary can be re-run at different scales without recompiling:
+//
+//   ./fig07_io_cost n_astro=200000 m_values=1,10,50,100
+//
+// Unknown keys are reported (and rejected) to catch typos in sweep scripts.
+
+#ifndef MSQ_COMMON_FLAGS_H_
+#define MSQ_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msq {
+
+/// Parses `key=value` arguments. Keys must be registered before Parse().
+class Flags {
+ public:
+  /// Registers a key with a default value and help text.
+  void Define(const std::string& key, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv[1..]; returns InvalidArgument on unknown keys or bad
+  /// syntax. `--help` (or `help`) prints usage and returns NotFound so the
+  /// caller can exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& key) const;
+  int64_t GetInt(const std::string& key) const;
+  double GetDouble(const std::string& key) const;
+  bool GetBool(const std::string& key) const;
+  /// Comma-separated integer list, e.g. "1,10,20,40,50,100".
+  std::vector<int64_t> GetIntList(const std::string& key) const;
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_FLAGS_H_

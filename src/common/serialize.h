@@ -1,0 +1,72 @@
+// Minimal little-endian binary (de)serialization helpers for the index
+// persistence code. All readers validate stream state; readers of
+// variable-length fields bound them before allocating.
+
+#ifndef MSQ_COMMON_SERIALIZE_H_
+#define MSQ_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msq {
+
+inline void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline Status ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Status::Corruption("truncated stream (u32)");
+  return Status::OK();
+}
+inline Status ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Status::Corruption("truncated stream (u64)");
+  return Status::OK();
+}
+inline Status ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  if (!in) return Status::Corruption("truncated stream (f64)");
+  return Status::OK();
+}
+
+/// Writes a u32-length-prefixed vector of trivially copyable elements.
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WriteU32(out, static_cast<uint32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+/// Reads a u32-length-prefixed vector, rejecting absurd sizes.
+template <typename T>
+Status ReadVector(std::istream& in, std::vector<T>* v,
+                  uint32_t max_elements = 1u << 28) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint32_t size = 0;
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &size));
+  if (size > max_elements) {
+    return Status::Corruption("vector size out of bounds");
+  }
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) return Status::Corruption("truncated stream (vector)");
+  return Status::OK();
+}
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_SERIALIZE_H_

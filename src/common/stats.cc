@@ -1,0 +1,67 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace msq {
+
+double QueryStats::IoMillis(const CostModel& model) const {
+  return static_cast<double>(random_page_reads) * model.random_page_ms +
+         static_cast<double>(seq_page_reads) * model.seq_page_ms;
+}
+
+double QueryStats::CpuMillis(const CostModel& model, size_t dim) const {
+  const double dist_us = model.DistMicros(dim);
+  const double micros =
+      static_cast<double>(TotalDistComputations()) * dist_us +
+      static_cast<double>(triangle_tries) * model.triangle_cmp_micros;
+  return micros / 1000.0;
+}
+
+double QueryStats::TotalMillis(const CostModel& model, size_t dim) const {
+  return IoMillis(model) + CpuMillis(model, dim);
+}
+
+QueryStats& QueryStats::operator+=(const QueryStats& other) {
+  dist_computations += other.dist_computations;
+  matrix_dist_computations += other.matrix_dist_computations;
+  triangle_tries += other.triangle_tries;
+  triangle_avoided += other.triangle_avoided;
+  random_page_reads += other.random_page_reads;
+  seq_page_reads += other.seq_page_reads;
+  buffer_hits += other.buffer_hits;
+  pages_skipped_buffered += other.pages_skipped_buffered;
+  queries_completed += other.queries_completed;
+  answers_produced += other.answers_produced;
+  return *this;
+}
+
+QueryStats QueryStats::operator-(const QueryStats& other) const {
+  QueryStats d;
+  d.dist_computations = dist_computations - other.dist_computations;
+  d.matrix_dist_computations =
+      matrix_dist_computations - other.matrix_dist_computations;
+  d.triangle_tries = triangle_tries - other.triangle_tries;
+  d.triangle_avoided = triangle_avoided - other.triangle_avoided;
+  d.random_page_reads = random_page_reads - other.random_page_reads;
+  d.seq_page_reads = seq_page_reads - other.seq_page_reads;
+  d.buffer_hits = buffer_hits - other.buffer_hits;
+  d.pages_skipped_buffered =
+      pages_skipped_buffered - other.pages_skipped_buffered;
+  d.queries_completed = queries_completed - other.queries_completed;
+  d.answers_produced = answers_produced - other.answers_produced;
+  return d;
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "dist=" << dist_computations << " matrix_dist="
+     << matrix_dist_computations << " tri_tries=" << triangle_tries
+     << " tri_avoided=" << triangle_avoided
+     << " rand_pages=" << random_page_reads << " seq_pages=" << seq_page_reads
+     << " buffer_hits=" << buffer_hits
+     << " pages_skipped=" << pages_skipped_buffered
+     << " queries=" << queries_completed << " answers=" << answers_produced;
+  return os.str();
+}
+
+}  // namespace msq

@@ -1,0 +1,100 @@
+// Cost accounting for similarity-query processing.
+//
+// The paper's two cost dimensions (Sec. 1) are the number of disk accesses
+// (I/O cost) and the number of distance calculations (CPU cost). All engine
+// code charges raw counters in a QueryStats; a CostModel — calibrated with
+// the unit costs the paper measured in Sec. 6.2 — converts counts into
+// modeled milliseconds so that experiments are deterministic and
+// hardware-independent.
+
+#ifndef MSQ_COMMON_STATS_H_
+#define MSQ_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace msq {
+
+/// Unit costs used to convert operation counts into modeled time.
+///
+/// Defaults reproduce the paper's measured environment (Pentium II 300 MHz,
+/// Sec. 6.2): a Euclidean distance computation cost 4.3 us at d=20 and
+/// 12.7 us at d=64 — a linear fit in the dimension — and one triangle-
+/// inequality comparison cost 0.082 us. Disk costs model a late-90s disk
+/// with 32 KB pages: a random page access pays seek+rotation+transfer, a
+/// sequential page access pays transfer only.
+struct CostModel {
+  /// Fixed overhead of one distance computation, microseconds.
+  double dist_base_micros = 0.4818;
+  /// Per-dimension cost of one distance computation, microseconds.
+  /// 0.4818 + 20 * 0.19091 = 4.3; 0.4818 + 64 * 0.19091 = 12.7.
+  double dist_per_dim_micros = 0.19091;
+  /// Cost of one triangle-inequality evaluation, microseconds (Sec. 6.2).
+  double triangle_cmp_micros = 0.082;
+  /// Cost of one random page access (seek + rotation + transfer), ms.
+  double random_page_ms = 8.0;
+  /// Cost of one sequential page access (transfer only), ms.
+  double seq_page_ms = 1.0;
+
+  /// Modeled cost of one distance computation at dimension `dim`, in us.
+  double DistMicros(size_t dim) const {
+    return dist_base_micros + dist_per_dim_micros * static_cast<double>(dim);
+  }
+};
+
+/// Raw operation counts charged by the query engines. Additive: the `+=`
+/// operator aggregates per-query or per-server stats.
+struct QueryStats {
+  // --- CPU side -------------------------------------------------------
+  /// Distance computations against database objects (and, for metric
+  /// trees, routing objects — they are real distance computations too).
+  uint64_t dist_computations = 0;
+  /// Distance computations spent initializing the query-distance matrix
+  /// (the m(m-1)/2 term of the paper's CPU cost formula).
+  uint64_t matrix_dist_computations = 0;
+  /// Triangle-inequality evaluations attempted (successful or not);
+  /// `avoiding_tries` in the paper's CPU formula.
+  uint64_t triangle_tries = 0;
+  /// Distance computations avoided thanks to Lemma 1 / Lemma 2.
+  uint64_t triangle_avoided = 0;
+
+  // --- I/O side -------------------------------------------------------
+  /// Data pages fetched with a random disk access.
+  uint64_t random_page_reads = 0;
+  /// Data pages fetched with a sequential disk access.
+  uint64_t seq_page_reads = 0;
+  /// Page requests satisfied by the buffer pool (no disk access).
+  uint64_t buffer_hits = 0;
+  /// Page requests that skipped the read because the multiple-query answer
+  /// buffer had already accounted the page for every interested query.
+  uint64_t pages_skipped_buffered = 0;
+
+  // --- Query-level ----------------------------------------------------
+  /// Similarity queries completed (primary queries of each call).
+  uint64_t queries_completed = 0;
+  /// Answers produced across all completed queries.
+  uint64_t answers_produced = 0;
+
+  uint64_t TotalPageReads() const { return random_page_reads + seq_page_reads; }
+  uint64_t TotalDistComputations() const {
+    return dist_computations + matrix_dist_computations;
+  }
+
+  /// Modeled I/O time in milliseconds under `model`.
+  double IoMillis(const CostModel& model) const;
+  /// Modeled CPU time in milliseconds under `model` for dimension `dim`.
+  double CpuMillis(const CostModel& model, size_t dim) const;
+  /// Modeled total (I/O + CPU) time in milliseconds.
+  double TotalMillis(const CostModel& model, size_t dim) const;
+
+  QueryStats& operator+=(const QueryStats& other);
+  QueryStats operator-(const QueryStats& other) const;
+
+  /// One-line human-readable rendering (for examples and debugging).
+  std::string ToString() const;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_STATS_H_

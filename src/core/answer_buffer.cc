@@ -1,0 +1,64 @@
+#include "core/answer_buffer.h"
+
+#include <algorithm>
+
+namespace msq {
+
+BufferedQueryState* AnswerBuffer::Find(QueryId id) {
+  auto it = states_.find(id);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+StatusOr<BufferedQueryState*> AnswerBuffer::GetOrCreate(const Query& q) {
+  auto it = states_.find(q.id);
+  if (it != states_.end()) {
+    BufferedQueryState& state = it->second;
+    const QueryType& t = state.query.type;
+    if (state.query.point != q.point || t.kind != q.type.kind ||
+        t.range != q.type.range || t.cardinality != q.type.cardinality) {
+      return Status::InvalidArgument(
+          "query id " + std::to_string(q.id) +
+          " re-submitted with a different point or type");
+    }
+    return &state;
+  }
+  auto [ins, ok] = states_.emplace(q.id, BufferedQueryState(q));
+  (void)ok;
+  return &ins->second;
+}
+
+void AnswerBuffer::Touch(BufferedQueryState* state) {
+  state->last_touched = ++clock_;
+}
+
+void AnswerBuffer::EnforceCapacity(
+    const std::unordered_set<QueryId>& pinned) {
+  if (states_.size() <= capacity_) return;
+  // Collect eviction candidates: (completed-first, LRU) order.
+  struct Candidate {
+    QueryId id;
+    bool complete;
+    uint64_t touched;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(states_.size());
+  for (const auto& [id, state] : states_) {
+    if (pinned.count(id)) continue;
+    candidates.push_back({id, state.complete, state.last_touched});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.complete != b.complete) return a.complete > b.complete;
+              return a.touched < b.touched;
+            });
+  for (const Candidate& c : candidates) {
+    if (states_.size() <= capacity_) break;
+    states_.erase(c.id);
+  }
+}
+
+bool AnswerBuffer::Erase(QueryId id) { return states_.erase(id) > 0; }
+
+void AnswerBuffer::Clear() { states_.clear(); }
+
+}  // namespace msq

@@ -1,0 +1,49 @@
+#include "core/answer_list.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace msq {
+
+double AnswerList::QueryDist() const {
+  if (!type_.Adaptive() || answers_.size() < type_.cardinality) {
+    return type_.range;
+  }
+  // List is full: the worst retained answer bounds the search.
+  const double worst = answers_.back().distance;
+  return std::min(worst, type_.range);
+}
+
+bool AnswerList::Qualifies(double d) const {
+  if (d > type_.range) return false;
+  if (type_.Adaptive() && answers_.size() >= type_.cardinality) {
+    // Must beat the worst answer under the (distance, id) order; at equal
+    // distance a smaller id could still win, so distance equality stays
+    // qualifying here and Offer decides by full comparison.
+    return d <= answers_.back().distance;
+  }
+  return true;
+}
+
+double AnswerList::KthDistance(size_t k) const {
+  if (k == 0 || answers_.size() < k) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return answers_[k - 1].distance;
+}
+
+bool AnswerList::Offer(ObjectId id, double distance) {
+  if (distance > type_.range) return false;
+  const Neighbor cand{id, distance};
+  const bool full =
+      type_.Adaptive() && answers_.size() >= type_.cardinality;
+  if (full && !(cand < answers_.back())) return false;
+  auto pos = std::lower_bound(answers_.begin(), answers_.end(), cand);
+  answers_.insert(pos, cand);
+  if (type_.Adaptive() && answers_.size() > type_.cardinality) {
+    answers_.pop_back();
+  }
+  return true;
+}
+
+}  // namespace msq

@@ -1,0 +1,52 @@
+// AnswerList: the engine-side answer accumulator of Figure 1.
+//
+// Maintains answers in ascending (distance, id) order, bounded by
+// T.cardinality, and exposes the current *query distance* — the pruning
+// radius that `adapt_query_dist` shrinks as nearest neighbors accumulate.
+
+#ifndef MSQ_CORE_ANSWER_LIST_H_
+#define MSQ_CORE_ANSWER_LIST_H_
+
+#include <vector>
+
+#include "core/query.h"
+
+namespace msq {
+
+/// Bounded, ordered answer accumulator for one similarity query.
+class AnswerList {
+ public:
+  explicit AnswerList(const QueryType& type) : type_(type) {}
+
+  /// Offers a candidate. Inserts it when it qualifies under the current
+  /// query distance / cardinality bound (evicting the worst answer if the
+  /// list is full); returns true iff inserted. Implements the
+  /// insert / remove_last_element / adapt_query_dist steps of Figure 1.
+  bool Offer(ObjectId id, double distance);
+
+  /// Current pruning radius: T.range for range queries; once `cardinality`
+  /// answers are present, the distance of the worst retained answer
+  /// (min'ed with T.range for the bounded-kNN type). Objects and pages
+  /// strictly farther than this can never contribute.
+  double QueryDist() const;
+
+  /// True when `Offer` could still accept a candidate at distance `d`.
+  bool Qualifies(double d) const;
+
+  /// Distance of the k-th best answer currently held, or +infinity when
+  /// fewer than k answers are present. Used by the multiple-query engine
+  /// to derive bounds for *other* queries via the triangle inequality.
+  double KthDistance(size_t k) const;
+
+  const AnswerSet& answers() const { return answers_; }
+  size_t size() const { return answers_.size(); }
+  const QueryType& type() const { return type_; }
+
+ private:
+  QueryType type_;
+  AnswerSet answers_;  // ascending (distance, id)
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_ANSWER_LIST_H_

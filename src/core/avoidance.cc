@@ -1,0 +1,32 @@
+#include "core/avoidance.h"
+
+#include <cmath>
+
+namespace msq {
+
+bool CanAvoidDistance(const QueryDistanceCache& cache,
+                      const std::vector<KnownQueryDistance>& known,
+                      uint32_t cache_index_j, double query_dist_j,
+                      QueryStats* stats, size_t max_witnesses) {
+  if (std::isinf(query_dist_j) || known.empty()) return false;
+  size_t examined = 0;
+  for (const KnownQueryDistance& k : known) {
+    if (++examined > max_witnesses) break;
+    const double qq = cache.Dist(k.cache_index, cache_index_j);
+    // Lemma 1 (strict premise -> strict exclusion).
+    if (stats != nullptr) ++stats->triangle_tries;
+    if (k.distance > qq + query_dist_j) {
+      if (stats != nullptr) ++stats->triangle_avoided;
+      return true;
+    }
+    // Lemma 2.
+    if (stats != nullptr) ++stats->triangle_tries;
+    if (qq > k.distance + query_dist_j) {
+      if (stats != nullptr) ++stats->triangle_avoided;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace msq

@@ -1,0 +1,54 @@
+// Triangle-inequality distance avoidance (Sec. 5.2, Lemmas 1 and 2).
+//
+// While evaluating a batch of queries against one database object O, the
+// distances already computed between O and earlier query objects, together
+// with the query-distance matrix, can prove dist(O, Q_j) > QueryDist(Q_j)
+// without computing it:
+//
+//   Lemma 1:  dist(O, Q_i) >= dist(Q_j, Q_i) + QueryDist(Q_j)
+//             ==> dist(O, Q_j) >= QueryDist(Q_j)
+//   Lemma 2:  dist(Q_j, Q_i) >= dist(O, Q_i) + QueryDist(Q_j)
+//             ==> dist(O, Q_j) >= QueryDist(Q_j)
+//
+// We require the premises *strictly*, which strengthens the conclusion to
+// dist(O, Q_j) > QueryDist(Q_j) — necessary because an object exactly at
+// the query distance can still qualify (range boundary; kNN distance tie
+// resolved by object id).
+
+#ifndef MSQ_CORE_AVOIDANCE_H_
+#define MSQ_CORE_AVOIDANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/distance_matrix.h"
+
+namespace msq {
+
+/// A distance already computed for the current database object.
+struct KnownQueryDistance {
+  /// Cache index (QueryDistanceCache) of the query object.
+  uint32_t cache_index = 0;
+  /// dist(O, Q_i).
+  double distance = 0.0;
+};
+
+/// Tries to prove dist(O, Q_j) > query_dist_j from the known distances.
+/// Every evaluated inequality is charged as one `triangle_tries`; a
+/// successful proof additionally charges one `triangle_avoided`.
+/// `query_dist_j` may be infinite (unsaturated kNN), in which case no
+/// avoidance is possible and nothing is charged.
+///
+/// At most `max_witnesses` known distances are examined: a failed scan of
+/// a long witness list costs real comparisons (the `avoiding_tries` term
+/// of the paper's CPU formula), and witnesses beyond the first few —
+/// ordered by proximity to the page — rarely succeed where those failed.
+bool CanAvoidDistance(const QueryDistanceCache& cache,
+                      const std::vector<KnownQueryDistance>& known,
+                      uint32_t cache_index_j, double query_dist_j,
+                      QueryStats* stats, size_t max_witnesses = 16);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_AVOIDANCE_H_

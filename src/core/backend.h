@@ -1,0 +1,92 @@
+// QueryBackend: the storage/index abstraction both query engines run on.
+//
+// Figure 1 (single query) and Figure 4 (multiple query) are implemented
+// once, in core/, against this interface; the linear scan, the VA-file, the
+// X-tree and the M-tree each provide their own page ordering and page-level
+// distance lower bounds. This mirrors the paper's claim that the proposed
+// techniques "apply to any type of similarity query and to an
+// implementation based on an index or using a sequential scan".
+
+#ifndef MSQ_CORE_BACKEND_H_
+#define MSQ_CORE_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+#include "core/query.h"
+#include "storage/page.h"
+
+namespace msq {
+
+/// One candidate data page with a lower bound on the distance from the
+/// primary query object to any object stored on it.
+struct PageCandidate {
+  PageId page = kInvalidPageId;
+  double min_dist = 0.0;
+};
+
+/// Lazy stream of candidate data pages for one primary query, in the order
+/// they should be processed: address order for the scan (maximizing
+/// sequential I/O), ascending MINDIST for trees (the Hjaltason-Samet
+/// ordering of [13], proven I/O-optimal for kNN in [3]).
+///
+/// This realizes `determine_relevant_data_pages` + `prune_pages` of
+/// Figure 1: Next() is called with the *current* query distance, so pages
+/// whose lower bound exceeds an adapted (shrunken) kNN radius are pruned
+/// without being read.
+class CandidateStream {
+ public:
+  virtual ~CandidateStream() = default;
+
+  /// Advances to the next candidate page with min_dist <= query_dist.
+  /// Returns false when no such page remains.
+  virtual bool Next(double query_dist, PageCandidate* out) = 0;
+};
+
+/// A database organization that can answer similarity queries page-wise.
+///
+/// Object vectors are accessible in memory (`ObjectVec`) — the simulated
+/// storage charges I/O through ReadPage instead of actually materializing
+/// bytes. Directory structures of tree backends are assumed memory-resident
+/// (their upper levels are buffer-resident in any realistic deployment);
+/// I/O accounting covers data pages, the dominant term.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  /// Short identifier, e.g. "linear_scan", "xtree".
+  virtual std::string Name() const = 0;
+
+  /// Opens the candidate-page stream for a primary query. Tree backends
+  /// charge directory-side distance computations (M-tree routing objects)
+  /// to `stats`, which must outlive the stream.
+  virtual std::unique_ptr<CandidateStream> OpenStream(const Query& query,
+                                                      QueryStats* stats) = 0;
+
+  /// Lower bound on dist(point-of-q, O) over objects O stored on `page`.
+  /// Used by the multiple-query engine to decide whether a page loaded for
+  /// the primary query is also relevant for query q (Sec. 5.1). The M-tree
+  /// charges one distance computation (to the leaf's routing object).
+  virtual double PageMinDist(PageId page, const Query& q,
+                             QueryStats* stats) = 0;
+
+  /// Objects stored on `page`; charges the page access (buffer pool, then
+  /// sequential/random disk read) to `stats`.
+  virtual const std::vector<ObjectId>& ReadPage(PageId page,
+                                                QueryStats* stats) = 0;
+
+  virtual size_t NumDataPages() const = 0;
+  virtual size_t NumObjects() const = 0;
+
+  /// The object's feature vector.
+  virtual const Vec& ObjectVec(ObjectId id) const = 0;
+
+  /// Clears buffer-pool content and the simulated disk head position so
+  /// experiments start from a cold, reproducible state.
+  virtual void ResetIoState() = 0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_BACKEND_H_

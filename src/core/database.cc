@@ -1,0 +1,134 @@
+#include "core/database.h"
+
+#include "core/single_query.h"
+
+namespace msq {
+
+std::string BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kLinearScan:
+      return "linear_scan";
+    case BackendKind::kXTree:
+      return "xtree";
+    case BackendKind::kMTree:
+      return "mtree";
+    case BackendKind::kVaFile:
+      return "va_file";
+  }
+  return "unknown";
+}
+
+MetricDatabase::MetricDatabase(std::shared_ptr<const Dataset> dataset,
+                               std::shared_ptr<const Metric> metric,
+                               DatabaseOptions options)
+    : dataset_(std::move(dataset)),
+      metric_(std::move(metric)),
+      options_(std::move(options)),
+      // Fresh query ids live above the ObjectId range so that object
+      // queries (id == object id) never collide with them.
+      next_query_id_(static_cast<QueryId>(1) << 32) {}
+
+StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
+    Dataset dataset, std::shared_ptr<const Metric> metric,
+    const DatabaseOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (metric == nullptr) {
+    return Status::InvalidArgument("metric is null");
+  }
+  auto shared = std::make_shared<Dataset>(std::move(dataset));
+  auto db = std::unique_ptr<MetricDatabase>(
+      new MetricDatabase(shared, metric, options));
+
+  switch (options.backend) {
+    case BackendKind::kLinearScan: {
+      LinearScanOptions scan_options;
+      scan_options.page_size_bytes = options.page_size_bytes;
+      scan_options.buffer_fraction = options.buffer_fraction;
+      auto built = LinearScanBackend::Build(shared, scan_options);
+      if (!built.ok()) return built.status();
+      db->backend_ = std::move(built).value();
+      break;
+    }
+    case BackendKind::kXTree: {
+      XTreeOptions xtree_options = options.xtree;
+      xtree_options.page_size_bytes = options.page_size_bytes;
+      xtree_options.buffer_fraction = options.buffer_fraction;
+      auto built = options.xtree_dynamic_build
+                       ? XTreeBackend::BuildByInsertion(shared, metric,
+                                                        xtree_options)
+                       : XTreeBackend::BulkLoad(shared, metric, xtree_options);
+      if (!built.ok()) return built.status();
+      db->backend_ = std::move(built).value();
+      break;
+    }
+    case BackendKind::kMTree: {
+      MTreeOptions mtree_options = options.mtree;
+      mtree_options.page_size_bytes = options.page_size_bytes;
+      mtree_options.buffer_fraction = options.buffer_fraction;
+      auto built = MTreeBackend::Build(shared, metric, mtree_options);
+      if (!built.ok()) return built.status();
+      db->backend_ = std::move(built).value();
+      break;
+    }
+    case BackendKind::kVaFile: {
+      VaFileOptions va_options = options.va_file;
+      va_options.page_size_bytes = options.page_size_bytes;
+      va_options.buffer_fraction = options.buffer_fraction;
+      auto built = VaFileBackend::Build(shared, metric, va_options);
+      if (!built.ok()) return built.status();
+      db->backend_ = std::move(built).value();
+      break;
+    }
+  }
+  db->engine_ = std::make_unique<MultiQueryEngine>(db->backend_.get(), metric,
+                                                   options.multi);
+  return db;
+}
+
+Query MetricDatabase::MakeRangeQuery(Vec point, double eps) {
+  return Query{next_query_id_++, std::move(point), QueryType::Range(eps)};
+}
+
+Query MetricDatabase::MakeKnnQuery(Vec point, size_t k) {
+  return Query{next_query_id_++, std::move(point), QueryType::Knn(k)};
+}
+
+Query MetricDatabase::MakeBoundedKnnQuery(Vec point, size_t k, double eps) {
+  return Query{next_query_id_++, std::move(point),
+               QueryType::BoundedKnn(k, eps)};
+}
+
+Query MetricDatabase::MakeObjectKnnQuery(ObjectId id, size_t k) const {
+  return Query{static_cast<QueryId>(id), dataset_->object(id),
+               QueryType::Knn(k)};
+}
+
+Query MetricDatabase::MakeObjectRangeQuery(ObjectId id, double eps) const {
+  return Query{static_cast<QueryId>(id), dataset_->object(id),
+               QueryType::Range(eps)};
+}
+
+StatusOr<AnswerSet> MetricDatabase::SimilarityQuery(const Query& query) {
+  CountingMetric counted(metric_);
+  return ExecuteSingleQuery(backend_.get(), counted, query, &stats_);
+}
+
+StatusOr<MultiQueryResult> MetricDatabase::MultipleSimilarityQuery(
+    const std::vector<Query>& queries) {
+  return engine_->Execute(queries, &stats_);
+}
+
+StatusOr<std::vector<AnswerSet>> MetricDatabase::MultipleSimilarityQueryAll(
+    const std::vector<Query>& queries) {
+  return engine_->ExecuteAll(queries, &stats_);
+}
+
+void MetricDatabase::ResetAll() {
+  ResetStats();
+  engine_->Reset();
+  backend_->ResetIoState();
+}
+
+}  // namespace msq

@@ -1,0 +1,132 @@
+// MetricDatabase: the public facade of the library.
+//
+// Owns a dataset, a metric, one storage/index backend, and the single- and
+// multiple-query engines, and exposes the two operations of the paper:
+//   similarity_query          (Definition 1, Figure 1)
+//   multiple_similarity_query (Definition 4, Figure 4)
+// plus cumulative cost statistics under a calibrated cost model.
+
+#ifndef MSQ_CORE_DATABASE_H_
+#define MSQ_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/backend.h"
+#include "core/multi_query.h"
+#include "core/query.h"
+#include "dataset/dataset.h"
+#include "dist/metric.h"
+#include "mtree/mtree.h"
+#include "scan/linear_scan.h"
+#include "scan/va_file.h"
+#include "xtree/xtree.h"
+
+namespace msq {
+
+/// Storage/index organization of a MetricDatabase.
+enum class BackendKind {
+  kLinearScan,
+  kXTree,
+  kMTree,
+  kVaFile,
+};
+
+std::string BackendKindName(BackendKind kind);
+
+struct DatabaseOptions {
+  BackendKind backend = BackendKind::kLinearScan;
+  size_t page_size_bytes = kDefaultPageSizeBytes;
+  /// Buffer pool size as a fraction of the organization's block count
+  /// (Sec. 6 uses 10%).
+  double buffer_fraction = 0.10;
+  /// Cost model converting operation counts to modeled time.
+  CostModel cost_model;
+  MultiQueryOptions multi;
+  /// Backend-specific knobs (page size / buffer fraction above override
+  /// the same fields inside these).
+  XTreeOptions xtree;
+  MTreeOptions mtree;
+  VaFileOptions va_file;
+  /// Build the X-tree by repeated insertion instead of bulk loading.
+  bool xtree_dynamic_build = false;
+};
+
+/// A metric database: dataset + metric + storage organization + engines.
+class MetricDatabase {
+ public:
+  /// Builds the database. The dataset is copied into shared ownership;
+  /// the metric must match the dataset's dimensionality.
+  static StatusOr<std::unique_ptr<MetricDatabase>> Open(
+      Dataset dataset, std::shared_ptr<const Metric> metric,
+      const DatabaseOptions& options);
+
+  // --- query construction ---------------------------------------------
+  /// Fresh-id queries for external points.
+  Query MakeRangeQuery(Vec point, double eps);
+  Query MakeKnnQuery(Vec point, size_t k);
+  Query MakeBoundedKnnQuery(Vec point, size_t k, double eps);
+  /// Queries whose query object is a database object; the query id is the
+  /// object id, so the answer buffer recognizes repeats (the mining
+  /// engines rely on this).
+  Query MakeObjectKnnQuery(ObjectId id, size_t k) const;
+  Query MakeObjectRangeQuery(ObjectId id, double eps) const;
+
+  // --- the paper's two operations ---------------------------------------
+  /// DB.similarity_query(Q, T): complete answers for one query.
+  StatusOr<AnswerSet> SimilarityQuery(const Query& query);
+
+  /// DB.multiple_similarity_query(Queries, SimTypes): the first query is
+  /// answered completely, the others at least partially (Definition 4).
+  StatusOr<MultiQueryResult> MultipleSimilarityQuery(
+      const std::vector<Query>& queries);
+
+  /// Completes every query of the batch via incremental calls.
+  StatusOr<std::vector<AnswerSet>> MultipleSimilarityQueryAll(
+      const std::vector<Query>& queries);
+
+  // --- accounting -------------------------------------------------------
+  const QueryStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = QueryStats(); }
+  /// Also clears buffered answers, the query-distance cache, the buffer
+  /// pool and the disk head (cold restart between experiments).
+  void ResetAll();
+
+  double ModeledIoMillis() const { return stats_.IoMillis(cost_model()); }
+  double ModeledCpuMillis() const {
+    return stats_.CpuMillis(cost_model(), dataset_->dim());
+  }
+  double ModeledTotalMillis() const {
+    return ModeledIoMillis() + ModeledCpuMillis();
+  }
+
+  // --- access -----------------------------------------------------------
+  const Dataset& dataset() const { return *dataset_; }
+  const Metric& metric() const { return *metric_; }
+  std::shared_ptr<const Metric> metric_ptr() const { return metric_; }
+  std::shared_ptr<const Dataset> dataset_ptr() const { return dataset_; }
+  QueryBackend& backend() { return *backend_; }
+  MultiQueryEngine& engine() { return *engine_; }
+  const CostModel& cost_model() const { return options_.cost_model; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  MetricDatabase(std::shared_ptr<const Dataset> dataset,
+                 std::shared_ptr<const Metric> metric,
+                 DatabaseOptions options);
+
+  std::shared_ptr<const Dataset> dataset_;
+  std::shared_ptr<const Metric> metric_;
+  DatabaseOptions options_;
+  std::unique_ptr<QueryBackend> backend_;
+  std::unique_ptr<MultiQueryEngine> engine_;
+  QueryStats stats_;
+  QueryId next_query_id_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_DATABASE_H_

@@ -1,0 +1,76 @@
+#include "core/distance_matrix.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace msq {
+
+void QueryDistanceCache::Prepare(const std::vector<Query>& queries,
+                                 const CountingMetric& metric,
+                                 std::vector<uint32_t>* indices) {
+  if (points_.size() > compact_threshold_) {
+    Compact(queries);
+  }
+  indices->clear();
+  indices->reserve(queries.size());
+  for (const Query& q : queries) {
+    auto it = index_of_.find(q.id);
+    if (it != index_of_.end()) {
+      indices->push_back(it->second);
+      continue;
+    }
+    const uint32_t idx = static_cast<uint32_t>(points_.size());
+    // New query object: one row of distances to every resident object.
+    std::vector<double> row(idx);
+    for (uint32_t j = 0; j < idx; ++j) {
+      row[j] = metric.DistanceForMatrix(q.point, points_[j]);
+    }
+    points_.push_back(q.point);
+    rows_.push_back(std::move(row));
+    index_of_.emplace(q.id, idx);
+    indices->push_back(idx);
+  }
+}
+
+void QueryDistanceCache::Compact(const std::vector<Query>& keep) {
+  std::unordered_set<QueryId> keep_ids;
+  keep_ids.reserve(keep.size());
+  for (const Query& q : keep) keep_ids.insert(q.id);
+
+  std::vector<uint32_t> old_index;  // surviving old indices, ascending
+  std::unordered_map<QueryId, uint32_t> new_index_of;
+  for (const auto& [qid, idx] : index_of_) {
+    if (keep_ids.count(qid)) {
+      new_index_of.emplace(qid, 0);  // filled below
+      old_index.push_back(idx);
+    }
+  }
+  std::sort(old_index.begin(), old_index.end());
+  // Map old index -> new index.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t i = 0; i < old_index.size(); ++i) remap[old_index[i]] = i;
+  for (auto& [qid, idx] : new_index_of) {
+    idx = remap[index_of_[qid]];
+  }
+  std::vector<Vec> new_points(old_index.size());
+  std::vector<std::vector<double>> new_rows(old_index.size());
+  for (uint32_t i = 0; i < old_index.size(); ++i) {
+    new_points[i] = std::move(points_[old_index[i]]);
+    new_rows[i].resize(i);
+    for (uint32_t j = 0; j < i; ++j) {
+      // Surviving pairs are copied, never recomputed.
+      new_rows[i][j] = Dist(old_index[i], old_index[j]);
+    }
+  }
+  points_ = std::move(new_points);
+  rows_ = std::move(new_rows);
+  index_of_ = std::move(new_index_of);
+}
+
+void QueryDistanceCache::Clear() {
+  index_of_.clear();
+  points_.clear();
+  rows_.clear();
+}
+
+}  // namespace msq

@@ -1,0 +1,60 @@
+// Query-distance matrix (Sec. 5.2).
+//
+// Applying Lemmas 1 and 2 requires dist(Q_i, Q_j) for every pair of query
+// objects in a batch; computing these m(m-1)/2 distances up front is the
+// first term of the paper's CPU cost formula. The cache is *incremental*:
+// when a later multiple-query call contains queries from an earlier call
+// (the shifting window of ExploreNeighborhoodsMultiple), only pairs
+// involving genuinely new query objects are computed — so a block of m
+// queries pays exactly m(m-1)/2 matrix distance computations in total, as
+// the paper's model assumes.
+
+#ifndef MSQ_CORE_DISTANCE_MATRIX_H_
+#define MSQ_CORE_DISTANCE_MATRIX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/query.h"
+#include "dist/counting_metric.h"
+
+namespace msq {
+
+/// Incremental cache of inter-query-object distances.
+class QueryDistanceCache {
+ public:
+  /// Entries beyond this many trigger compaction in Prepare (stale queries
+  /// from earlier windows are dropped without recomputation).
+  explicit QueryDistanceCache(size_t compact_threshold = 512)
+      : compact_threshold_(compact_threshold) {}
+
+  /// Ensures every query of the batch is present, computing only missing
+  /// pairs (charged to `metric`'s stats sink as matrix distance
+  /// computations). On return `indices->at(i)` is the cache index of
+  /// queries[i] for use with Dist().
+  void Prepare(const std::vector<Query>& queries, const CountingMetric& metric,
+               std::vector<uint32_t>* indices);
+
+  /// Distance between the query objects at cache indices a and b.
+  double Dist(uint32_t a, uint32_t b) const {
+    if (a == b) return 0.0;
+    return a > b ? rows_[a][b] : rows_[b][a];
+  }
+
+  size_t size() const { return points_.size(); }
+  void Clear();
+
+ private:
+  void Compact(const std::vector<Query>& keep);
+
+  size_t compact_threshold_;
+  std::unordered_map<QueryId, uint32_t> index_of_;
+  std::vector<Vec> points_;                 // query objects by cache index
+  std::vector<std::vector<double>> rows_;   // lower triangle: rows_[i][j], j<i
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_DISTANCE_MATRIX_H_

@@ -1,0 +1,57 @@
+#include "core/multi_cursor.h"
+
+#include <algorithm>
+
+namespace msq {
+
+Status MultiQueryCursor::Push(const Query& query) {
+  for (const Query& pending : pending_) {
+    if (pending.id == query.id) {
+      return Status::InvalidArgument("query id already pending");
+    }
+  }
+  pending_.push_back(query);
+  return Status::OK();
+}
+
+Status MultiQueryCursor::Push(const std::vector<Query>& queries) {
+  for (const Query& q : queries) {
+    MSQ_RETURN_IF_ERROR(Push(q));
+  }
+  return Status::OK();
+}
+
+StatusOr<MultiQueryCursor::CompletedQuery> MultiQueryCursor::Next() {
+  if (pending_.empty()) {
+    return Status::InvalidArgument("cursor exhausted");
+  }
+  // One shifting-window call: the window is the whole pending deque,
+  // capped at the engine's batch limit.
+  const size_t window_size =
+      std::min(pending_.size(), engine_->options().max_batch_size);
+  std::vector<Query> window(pending_.begin(),
+                            pending_.begin() +
+                                static_cast<ptrdiff_t>(window_size));
+  auto result = engine_->Execute(window, stats_);
+  if (!result.ok()) return result.status();
+  CompletedQuery completed;
+  completed.id = window.front().id;
+  completed.answers = std::move(result.value().answers.front());
+  pending_.pop_front();
+  ++completed_count_;
+  return completed;
+}
+
+StatusOr<AnswerSet> MultiQueryCursor::Peek(size_t index) const {
+  if (index >= pending_.size()) {
+    return Status::InvalidArgument("peek index out of range");
+  }
+  const BufferedQueryState* state =
+      engine_->buffer().Find(pending_[index].id);
+  if (state == nullptr) {
+    return AnswerSet{};  // untouched so far: no partial answers yet
+  }
+  return state->answers.answers();
+}
+
+}  // namespace msq

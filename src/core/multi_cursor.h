@@ -1,0 +1,67 @@
+// MultiQueryCursor: incremental consumption of a multiple similarity
+// query.
+//
+// Sec. 5.1 highlights that incremental processing "has the advantage that
+// (partial) answers to all of the queries can be presented to a user at a
+// very early stage of the evaluation". The cursor exposes exactly that
+// interaction: each Next() call issues one shifting-window call of the
+// engine, returns the newly completed query's answers, and Peek() shows
+// the current (partial) answers of any pending query at no cost. New
+// queries can be appended mid-iteration — the dynamic-query-arrival
+// pattern of ExploreNeighborhoods algorithms.
+
+#ifndef MSQ_CORE_MULTI_CURSOR_H_
+#define MSQ_CORE_MULTI_CURSOR_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "core/multi_query.h"
+#include "core/query.h"
+
+namespace msq {
+
+/// Incremental iterator over a (growable) batch of similarity queries.
+class MultiQueryCursor {
+ public:
+  /// The engine must outlive the cursor; `stats` may be null.
+  MultiQueryCursor(MultiQueryEngine* engine, QueryStats* stats)
+      : engine_(engine), stats_(stats) {}
+
+  /// Appends queries to the back of the pending window. Rejects ids
+  /// already pending or already completed through this cursor.
+  Status Push(const Query& query);
+  Status Push(const std::vector<Query>& queries);
+
+  /// True while queries are pending.
+  bool HasNext() const { return !pending_.empty(); }
+
+  /// Completes (and pops) the first pending query, prefetching the rest;
+  /// returns its id and complete answers.
+  struct CompletedQuery {
+    QueryId id = 0;
+    AnswerSet answers;
+  };
+  StatusOr<CompletedQuery> Next();
+
+  /// Current partial answers of a pending query (position `index` in the
+  /// pending window) without doing any work. For range queries these are
+  /// guaranteed final answers; for kNN queries they are the best
+  /// candidates found so far (Definition 4 only requires the *first*
+  /// query of a call to be final).
+  StatusOr<AnswerSet> Peek(size_t index) const;
+
+  size_t pending() const { return pending_.size(); }
+  size_t completed() const { return completed_count_; }
+
+ private:
+  MultiQueryEngine* engine_;
+  QueryStats* stats_;
+  std::deque<Query> pending_;
+  size_t completed_count_ = 0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_MULTI_CURSOR_H_

@@ -1,0 +1,246 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/avoidance.h"
+
+namespace msq {
+
+MultiQueryEngine::MultiQueryEngine(QueryBackend* backend,
+                                   std::shared_ptr<const Metric> metric,
+                                   const MultiQueryOptions& options)
+    : backend_(backend),
+      metric_(std::move(metric)),
+      options_(options),
+      buffer_(options.buffer_capacity),
+      qq_cache_(/*compact_threshold=*/options.max_batch_size * 2 + 64) {}
+
+StatusOr<MultiQueryResult> MultiQueryEngine::Execute(
+    const std::vector<Query>& queries, QueryStats* stats) {
+  MultiQueryResult result;
+  MSQ_RETURN_IF_ERROR(ExecuteInternal(queries, stats, nullptr, &result));
+  return result;
+}
+
+StatusOr<std::vector<AnswerSet>> MultiQueryEngine::ExecuteAll(
+    const std::vector<Query>& queries, QueryStats* stats) {
+  std::vector<AnswerSet> all(queries.size());
+  // The shifting-window sequence of Sec. 5.1: [Q0..], [Q1..], ... — each
+  // call completes its first query; the buffer carries partial answers and
+  // accounted pages forward, and the distance cache carries the matrix.
+  std::vector<Query> window = queries;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    MSQ_RETURN_IF_ERROR(
+        ExecuteInternal(window, stats, &all[i], /*result=*/nullptr));
+    window.erase(window.begin());
+  }
+  return all;
+}
+
+Status MultiQueryEngine::ExecuteInternal(const std::vector<Query>& queries,
+                                         QueryStats* stats,
+                                         AnswerSet* primary_answers,
+                                         MultiQueryResult* result) {
+  if (backend_ == nullptr) return Status::InvalidArgument("backend is null");
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  if (queries.size() > options_.max_batch_size) {
+    return Status::ResourceExhausted(
+        "batch of " + std::to_string(queries.size()) +
+        " queries exceeds max_batch_size " +
+        std::to_string(options_.max_batch_size));
+  }
+  for (const Query& q : queries) {
+    if (q.point.empty()) {
+      return Status::InvalidArgument("query point is empty");
+    }
+  }
+  metric_.set_stats(stats);
+
+  const size_t m = queries.size();
+
+  // restore_from_buffer: attach (or create) the buffered state of every
+  // query in the batch.
+  std::vector<BufferedQueryState*> states(m);
+  std::unordered_set<QueryId> pinned;
+  pinned.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    auto got = buffer_.GetOrCreate(queries[i]);
+    if (!got.ok()) return got.status();
+    states[i] = got.value();
+    buffer_.Touch(states[i]);
+    pinned.insert(queries[i].id);
+  }
+  if (pinned.size() != m) {
+    return Status::InvalidArgument("duplicate query ids in batch");
+  }
+
+  // Query-distance matrix: only pairs involving new query objects are
+  // computed (charged as matrix_dist_computations). Avoidance needs the
+  // shared per-object distances that I/O sharing produces, so it is only
+  // armed when pages are processed for the whole batch.
+  const bool use_avoidance = options_.enable_triangle_avoidance &&
+                             options_.enable_io_sharing && m > 1;
+  std::vector<uint32_t> qq_index;
+  if (use_avoidance) {
+    qq_cache_.Prepare(queries, metric_, &qq_index);
+  }
+
+  BufferedQueryState* primary = states[0];
+  if (!primary->complete) {
+    // Derived query-distance bounds: once any query Q_j holds at least
+    // k_i answers within radius r_j, the triangle inequality guarantees
+    // at least k_i objects within dist(Q_i, Q_j) + r_j of Q_i — an upper
+    // bound on Q_i's final k-th-nearest distance that is valid *forever*
+    // (r_j only shrinks). It caps both page relevance and avoidance for
+    // still-unsaturated kNN queries, which would otherwise treat every
+    // page as relevant. Range queries derive nothing (their radius is a
+    // hard semantic bound, not an optimization target).
+    //
+    // The bound is persisted in the buffered state and derived at most
+    // once per query (cost O(m) each, so O(m^2) once per batch — NOT per
+    // shifting-window call, which would be cubic over a batch).
+    auto refresh_derived = [&]() {
+      bool all_derived = true;
+      for (uint32_t i = 0; i < m; ++i) {
+        BufferedQueryState* s = states[i];
+        if (!s->query.type.Adaptive() || s->complete) continue;
+        if (!std::isinf(s->derived_bound)) continue;
+        const size_t k_i = s->query.type.cardinality;
+        double best = s->derived_bound;
+        for (uint32_t j = 0; j < m; ++j) {
+          if (j == i) continue;
+          const double kth = states[j]->answers.KthDistance(k_i);
+          if (std::isinf(kth)) continue;
+          if (stats != nullptr) ++stats->triangle_tries;
+          best = std::min(best, qq_cache_.Dist(qq_index[i], qq_index[j]) +
+                                    kth);
+        }
+        s->derived_bound = best;
+        all_derived = all_derived && !std::isinf(best);
+      }
+      return all_derived;
+    };
+    auto effective_dist = [&](uint32_t i) {
+      return std::min(states[i]->answers.QueryDist(),
+                      states[i]->derived_bound);
+    };
+    // At most a few passes: if bounds are still underivable after the
+    // first pages (e.g. k exceeds the database size), stop trying.
+    int derived_attempts_left = 4;
+    bool derived_done = false;
+    if (use_avoidance) {
+      derived_done = refresh_derived();
+      --derived_attempts_left;
+    }
+
+    std::unique_ptr<CandidateStream> stream =
+        backend_->OpenStream(primary->query, stats);
+    PageCandidate candidate;
+    // Per-page scratch, hoisted out of the loop.
+    std::vector<uint32_t> active;          // batch indices to test on the page
+    std::vector<std::pair<double, uint32_t>> active_lb;
+    std::vector<KnownQueryDistance> known; // distances computed for one object
+    while (stream->Next(use_avoidance ? effective_dist(0)
+                                      : primary->answers.QueryDist(),
+                        &candidate)) {
+      const PageId page = candidate.page;
+      if (primary->accounted_pages.count(page)) {
+        // Already processed (or excluded) for the primary in an earlier
+        // call; nothing new can come from it.
+        if (stats != nullptr) ++stats->pages_skipped_buffered;
+        continue;
+      }
+
+      // Determine which batch queries this page is relevant for. The
+      // primary is always relevant here (the stream filtered by its query
+      // distance). A page excluded for query i now has
+      // PageMinDist > QueryDist(i), and query distances only shrink, so it
+      // is accounted for i permanently.
+      active.clear();
+      if (!options_.enable_io_sharing) {
+        active.push_back(0);
+      } else {
+        // The primary participates like everyone else, ordered by its page
+        // lower bound — so even its distance computations can be avoided
+        // through closer batch neighbors processed first.
+        active_lb.clear();
+        active_lb.push_back({candidate.min_dist, 0});
+        for (uint32_t i = 1; i < m; ++i) {
+          BufferedQueryState* s = states[i];
+          if (s->complete || s->accounted_pages.count(page)) continue;
+          const double bound =
+              use_avoidance ? effective_dist(i) : s->answers.QueryDist();
+          const double lb = backend_->PageMinDist(page, s->query, stats);
+          if (lb <= bound) {
+            active_lb.push_back({lb, i});
+          }
+          // Relevant or not, the page is now accounted for query i:
+          // either we process it below, or it is provably irrelevant
+          // (the bound never falls below the query's final answer radius).
+          s->accounted_pages.insert(page);
+        }
+        // Process queries closest to the page first: their distances are
+        // computed early and make the strongest Lemma-1 witnesses for the
+        // farther queries behind them.
+        std::sort(active_lb.begin(), active_lb.end());
+        for (const auto& [lb, i] : active_lb) active.push_back(i);
+      }
+      primary->accounted_pages.insert(page);
+
+      const std::vector<ObjectId>& objects = backend_->ReadPage(page, stats);
+      for (ObjectId obj : objects) {
+        const Vec& vec = backend_->ObjectVec(obj);
+        known.clear();
+        for (uint32_t i : active) {
+          BufferedQueryState* s = states[i];
+          const double query_dist = use_avoidance
+                                        ? effective_dist(i)
+                                        : s->answers.QueryDist();
+          if (use_avoidance &&
+              CanAvoidDistance(qq_cache_, known, qq_index[i], query_dist,
+                               stats, options_.avoidance_max_witnesses)) {
+            continue;  // dist(obj, Q_i) proven > the final answer radius.
+          }
+          const double d = metric_.Distance(queries[i].point, vec);
+          if (use_avoidance) known.push_back({qq_index[i], d});
+          s->answers.Offer(obj, d);
+        }
+      }
+      // Cold batches derive nothing before the first page saturates the
+      // kNN lists; retry until every adaptive query has its bound.
+      if (use_avoidance && !derived_done && derived_attempts_left > 0) {
+        derived_done = refresh_derived();
+        --derived_attempts_left;
+      }
+    }
+    primary->complete = true;
+    if (stats != nullptr) {
+      ++stats->queries_completed;
+      stats->answers_produced += primary->answers.size();
+    }
+  }
+
+  if (primary_answers != nullptr) {
+    *primary_answers = primary->answers.answers();
+  }
+  if (result != nullptr) {
+    result->answers.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      result->answers[i] = states[i]->answers.answers();
+    }
+  }
+  buffer_.EnforceCapacity(pinned);
+  metric_.set_stats(nullptr);
+  return Status::OK();
+}
+
+void MultiQueryEngine::Reset() {
+  buffer_.Clear();
+  qq_cache_.Clear();
+}
+
+}  // namespace msq

@@ -1,0 +1,134 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace msq {
+
+StatusOr<std::unique_ptr<QueryPlanner>> QueryPlanner::Create(
+    const Dataset& dataset, std::shared_ptr<const Metric> metric,
+    const PlannerOptions& options) {
+  if (options.candidates.empty()) {
+    return Status::InvalidArgument("no candidate backends");
+  }
+  auto planner = std::unique_ptr<QueryPlanner>(new QueryPlanner());
+  for (BackendKind kind : options.candidates) {
+    DatabaseOptions db_options = options.database;
+    db_options.backend = kind;
+    auto db = MetricDatabase::Open(dataset, metric, db_options);
+    if (!db.ok()) {
+      if (db.status().IsNotSupported()) continue;  // e.g. metric w/o MINDIST
+      return db.status();
+    }
+    planner->databases_.push_back(std::move(db).value());
+    BackendProfile profile;
+    profile.kind = kind;
+    planner->profiles_.push_back(profile);
+  }
+  if (planner->databases_.empty()) {
+    return Status::NotSupported(
+        "no candidate backend supports the given metric");
+  }
+  MSQ_RETURN_IF_ERROR(planner->Calibrate(options));
+  return planner;
+}
+
+Status QueryPlanner::Calibrate(const PlannerOptions& options) {
+  // Probe objects shared across candidates for comparability.
+  Rng rng(options.seed);
+  const size_t n = databases_.front()->dataset().size();
+  const size_t probes = std::min<size_t>(std::max<size_t>(
+                                             options.probe_queries, 2),
+                                         n);
+  std::vector<ObjectId> probe_ids;
+  for (uint64_t id : rng.SampleWithoutReplacement(n, probes)) {
+    probe_ids.push_back(static_cast<ObjectId>(id));
+  }
+
+  for (size_t b = 0; b < databases_.size(); ++b) {
+    MetricDatabase* db = databases_[b].get();
+    const size_t dim = db->dataset().dim();
+
+    // Single-query profile.
+    db->ResetAll();
+    for (ObjectId id : probe_ids) {
+      auto got = db->SimilarityQuery(
+          db->MakeObjectKnnQuery(id, options.probe_k));
+      if (!got.ok()) return got.status();
+    }
+    profiles_[b].single_query_ms =
+        db->stats().TotalMillis(db->cost_model(), dim) /
+        static_cast<double>(probe_ids.size());
+
+    // Batched profile: one multiple query over the probes.
+    db->ResetAll();
+    std::vector<Query> batch;
+    for (ObjectId id : probe_ids) {
+      batch.push_back(db->MakeObjectKnnQuery(id, options.probe_k));
+    }
+    auto all = db->MultipleSimilarityQueryAll(batch);
+    if (!all.ok()) return all.status();
+    profiles_[b].batched_query_ms =
+        db->stats().TotalMillis(db->cost_model(), dim) /
+        static_cast<double>(probe_ids.size());
+    db->ResetAll();
+  }
+  return Status::OK();
+}
+
+PlanDecision QueryPlanner::Plan(size_t m) const {
+  PlanDecision decision;
+  decision.batch_size = m;
+  double best = std::numeric_limits<double>::infinity();
+  for (const BackendProfile& profile : profiles_) {
+    const double predicted = profile.PredictMs(m);
+    decision.predicted_ms.push_back(predicted);
+    if (predicted < best) {
+      best = predicted;
+      decision.chosen = profile.kind;
+    }
+  }
+  return decision;
+}
+
+StatusOr<std::vector<AnswerSet>> QueryPlanner::ExecuteBatch(
+    const std::vector<Query>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  PlanDecision decision = Plan(queries.size());
+  decisions_.push_back(decision);
+  MetricDatabase* db = database(decision.chosen);
+  if (db == nullptr) {
+    return Status::Internal("chosen backend disappeared");
+  }
+  if (queries.size() == 1) {
+    auto got = db->SimilarityQuery(queries.front());
+    if (!got.ok()) return got.status();
+    return std::vector<AnswerSet>{std::move(got).value()};
+  }
+  // Respect the engine's batch limit by routing in blocks.
+  const size_t cap = db->engine().options().max_batch_size;
+  std::vector<AnswerSet> all;
+  all.reserve(queries.size());
+  for (size_t block = 0; block < queries.size(); block += cap) {
+    const size_t end = std::min(queries.size(), block + cap);
+    std::vector<Query> chunk(queries.begin() + static_cast<ptrdiff_t>(block),
+                             queries.begin() + static_cast<ptrdiff_t>(end));
+    auto got = db->MultipleSimilarityQueryAll(chunk);
+    if (!got.ok()) return got.status();
+    for (auto& a : got.value()) all.push_back(std::move(a));
+  }
+  return all;
+}
+
+MetricDatabase* QueryPlanner::database(BackendKind kind) {
+  for (size_t b = 0; b < profiles_.size(); ++b) {
+    if (profiles_[b].kind == kind) return databases_[b].get();
+  }
+  return nullptr;
+}
+
+}  // namespace msq

@@ -1,0 +1,103 @@
+// Cost-based routing between storage organizations.
+//
+// Sec. 6.3 of the paper shows a regime change: the X-tree wins for single
+// queries, but as the batch width m grows the linear scan overtakes it
+// (m >= 10 on the astronomy data, m >= 100 on the image data). A DBMS
+// exposing multiple_similarity_query as a basic operation therefore needs
+// an optimizer that picks the organization per batch. QueryPlanner holds
+// one database per candidate backend, calibrates a per-backend cost
+// profile from a handful of probe queries, and routes every batch to the
+// backend with the lowest predicted cost.
+
+#ifndef MSQ_CORE_PLANNER_H_
+#define MSQ_CORE_PLANNER_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace msq {
+
+struct PlannerOptions {
+  /// Candidate organizations (at least one). Databases are built for all.
+  std::vector<BackendKind> candidates{BackendKind::kLinearScan,
+                                      BackendKind::kXTree};
+  /// Probe queries per candidate used to calibrate the cost profile.
+  size_t probe_queries = 8;
+  /// kNN cardinality of the probe queries.
+  size_t probe_k = 10;
+  uint64_t seed = 33;
+  /// Configuration applied to every candidate database.
+  DatabaseOptions database;
+};
+
+/// Calibrated per-backend cost profile (all values per query).
+struct BackendProfile {
+  BackendKind kind = BackendKind::kLinearScan;
+  /// Measured modeled cost of one isolated query.
+  double single_query_ms = 0.0;
+  /// Predicted asymptotic per-query cost inside a large batch: the
+  /// batch-invariant work (shared page reads amortize; distances after
+  /// avoidance) measured from a probe batch.
+  double batched_query_ms = 0.0;
+
+  /// Predicted per-query cost at batch width m: interpolates between the
+  /// single-query cost and the batched cost with the 1/m amortization
+  /// shape of Sec. 5.1.
+  double PredictMs(size_t m) const {
+    if (m <= 1) return single_query_ms;
+    const double amortized = single_query_ms / static_cast<double>(m);
+    return std::max(batched_query_ms, amortized);
+  }
+};
+
+/// One routing decision (returned for observability / tests).
+struct PlanDecision {
+  BackendKind chosen = BackendKind::kLinearScan;
+  size_t batch_size = 0;
+  std::vector<double> predicted_ms;  // parallel to profiles()
+};
+
+/// A multi-backend database with cost-based batch routing.
+class QueryPlanner {
+ public:
+  /// Builds one database per candidate backend over (copies of) the
+  /// dataset and calibrates the profiles with probe queries. Candidates
+  /// whose backend rejects the metric (e.g. X-tree without MINDIST) are
+  /// skipped; failing *all* candidates is an error.
+  static StatusOr<std::unique_ptr<QueryPlanner>> Create(
+      const Dataset& dataset, std::shared_ptr<const Metric> metric,
+      const PlannerOptions& options);
+
+  /// Routes the batch to the backend with the lowest predicted per-query
+  /// cost at this batch width and completes every query there.
+  StatusOr<std::vector<AnswerSet>> ExecuteBatch(
+      const std::vector<Query>& queries);
+
+  /// The decision ExecuteBatch would take for a batch of width m.
+  PlanDecision Plan(size_t m) const;
+
+  const std::vector<BackendProfile>& profiles() const { return profiles_; }
+  /// The database of a given candidate (for inspection; stats accumulate
+  /// there as batches are routed).
+  MetricDatabase* database(BackendKind kind);
+
+  /// Decisions taken so far (one per ExecuteBatch call).
+  const std::vector<PlanDecision>& decisions() const { return decisions_; }
+
+ private:
+  QueryPlanner() = default;
+  Status Calibrate(const PlannerOptions& options);
+
+  std::vector<std::unique_ptr<MetricDatabase>> databases_;
+  std::vector<BackendProfile> profiles_;
+  std::vector<PlanDecision> decisions_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_PLANNER_H_

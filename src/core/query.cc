@@ -1,0 +1,23 @@
+#include "core/query.h"
+
+#include <sstream>
+
+namespace msq {
+
+std::string QueryType::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case QueryKind::kRange:
+      os << "range(eps=" << range << ")";
+      break;
+    case QueryKind::kNearestNeighbor:
+      os << "knn(k=" << cardinality << ")";
+      break;
+    case QueryKind::kBoundedNearestNeighbor:
+      os << "bounded_knn(k=" << cardinality << ", eps=" << range << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace msq

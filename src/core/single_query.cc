@@ -1,0 +1,39 @@
+#include "core/single_query.h"
+
+#include "core/answer_list.h"
+
+namespace msq {
+
+StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
+                                       const CountingMetric& metric,
+                                       const Query& query, QueryStats* stats) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("backend is null");
+  }
+  if (query.point.empty()) {
+    return Status::InvalidArgument("query point is empty");
+  }
+  CountingMetric counted = metric;
+  counted.set_stats(stats);
+
+  AnswerList answers(query.type);
+  std::unique_ptr<CandidateStream> stream = backend->OpenStream(query, stats);
+  PageCandidate candidate;
+  // `Next(QueryDist(), ...)` realizes prune_pages: pages whose lower bound
+  // exceeds the adapted query distance are never read.
+  while (stream->Next(answers.QueryDist(), &candidate)) {
+    const std::vector<ObjectId>& objects =
+        backend->ReadPage(candidate.page, stats);
+    for (ObjectId id : objects) {
+      const double d = counted.Distance(query.point, backend->ObjectVec(id));
+      answers.Offer(id, d);  // Offer applies the range/cardinality bounds.
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->queries_completed;
+    stats->answers_produced += answers.size();
+  }
+  return answers.answers();
+}
+
+}  // namespace msq

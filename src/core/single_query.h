@@ -1,0 +1,23 @@
+// The single similarity query algorithm of Figure 1, generic over the
+// backend and the query type.
+
+#ifndef MSQ_CORE_SINGLE_QUERY_H_
+#define MSQ_CORE_SINGLE_QUERY_H_
+
+#include "common/status.h"
+#include "core/backend.h"
+#include "core/query.h"
+#include "dist/counting_metric.h"
+
+namespace msq {
+
+/// Executes one similarity query against `backend`, charging distance
+/// computations and page accesses to `stats` (which may be null for
+/// unmetered execution). Returns the complete answer set.
+StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
+                                       const CountingMetric& metric,
+                                       const Query& query, QueryStats* stats);
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_SINGLE_QUERY_H_

@@ -1,0 +1,159 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace msq {
+
+namespace {
+constexpr uint32_t kMagic = 0x4d535144;  // "MSQD"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+StatusOr<ObjectId> Dataset::Append(Vec v, int32_t label) {
+  if (objects_.empty()) {
+    dim_ = v.size();
+  } else if (v.size() != dim_) {
+    return Status::InvalidArgument("object dimensionality mismatch");
+  }
+  if (label != kNoLabel && labels_.size() != objects_.size()) {
+    // Backfill: dataset becomes labeled, earlier objects get kNoLabel.
+    labels_.resize(objects_.size(), kNoLabel);
+  }
+  objects_.push_back(std::move(v));
+  if (!labels_.empty() || label != kNoLabel) {
+    labels_.resize(objects_.size(), kNoLabel);
+    labels_.back() = label;
+  }
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+Dataset Dataset::Subset(const std::vector<ObjectId>& ids) const {
+  Dataset out;
+  out.dim_ = dim_;
+  out.objects_.reserve(ids.size());
+  for (ObjectId id : ids) out.objects_.push_back(objects_[id]);
+  if (has_labels()) {
+    out.labels_.reserve(ids.size());
+    for (ObjectId id : ids) out.labels_.push_back(labels_[id]);
+  }
+  return out;
+}
+
+void Dataset::Bounds(Vec* mins, Vec* maxs) const {
+  mins->assign(dim_, std::numeric_limits<Scalar>::max());
+  maxs->assign(dim_, std::numeric_limits<Scalar>::lowest());
+  for (const Vec& v : objects_) {
+    for (size_t d = 0; d < dim_; ++d) {
+      (*mins)[d] = std::min((*mins)[d], v[d]);
+      (*maxs)[d] = std::max((*maxs)[d], v[d]);
+    }
+  }
+}
+
+Status Dataset::SaveBinary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  auto write_u32 = [&out](uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u32(kMagic);
+  write_u32(kVersion);
+  write_u32(static_cast<uint32_t>(dim_));
+  write_u32(static_cast<uint32_t>(objects_.size()));
+  write_u32(has_labels() ? 1 : 0);
+  for (const Vec& v : objects_) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(Scalar)));
+  }
+  if (has_labels()) {
+    out.write(reinterpret_cast<const char*>(labels_.data()),
+              static_cast<std::streamsize>(labels_.size() * sizeof(int32_t)));
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> Dataset::LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  auto read_u32 = [&in](uint32_t* v) {
+    in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  };
+  uint32_t magic = 0, version = 0, dim = 0, n = 0, labeled = 0;
+  read_u32(&magic);
+  read_u32(&version);
+  read_u32(&dim);
+  read_u32(&n);
+  read_u32(&labeled);
+  if (!in || magic != kMagic) return Status::Corruption("bad magic in " + path);
+  if (version != kVersion) return Status::Corruption("unsupported version");
+  Dataset ds;
+  ds.dim_ = dim;
+  ds.objects_.assign(n, Vec(dim));
+  for (auto& v : ds.objects_) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(dim * sizeof(Scalar)));
+  }
+  if (labeled != 0) {
+    ds.labels_.resize(n);
+    in.read(reinterpret_cast<char*>(ds.labels_.data()),
+            static_cast<std::streamsize>(n * sizeof(int32_t)));
+  }
+  if (!in) return Status::Corruption("truncated dataset file " + path);
+  return ds;
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    const Vec& v = objects_[i];
+    for (size_t d = 0; d < v.size(); ++d) {
+      if (d > 0) out << ',';
+      out << v[d];
+    }
+    if (has_labels()) out << ',' << labels_[i];
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> Dataset::LoadCsv(const std::string& path, bool has_label) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  Dataset ds;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (cells.empty()) continue;
+    const size_t ncomp = has_label ? cells.size() - 1 : cells.size();
+    Vec v(ncomp);
+    for (size_t d = 0; d < ncomp; ++d) {
+      v[d] = static_cast<Scalar>(std::strtod(cells[d].c_str(), nullptr));
+    }
+    int32_t label = kNoLabel;
+    if (has_label) {
+      label = static_cast<int32_t>(std::strtol(cells.back().c_str(), nullptr, 10));
+    }
+    auto appended = ds.Append(std::move(v), label);
+    if (!appended.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                appended.status().message());
+    }
+  }
+  return ds;
+}
+
+}  // namespace msq

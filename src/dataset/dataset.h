@@ -1,0 +1,70 @@
+// Dataset: an in-memory collection of feature vectors with optional class
+// labels, plus simple binary/CSV persistence so generated workloads can be
+// inspected and re-used.
+
+#ifndef MSQ_DATASET_DATASET_H_
+#define MSQ_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/vector.h"
+
+namespace msq {
+
+/// Label value meaning "unlabeled".
+inline constexpr int32_t kNoLabel = -1;
+
+/// A collection of equally-dimensioned feature vectors.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t dim, std::vector<Vec> objects)
+      : dim_(dim), objects_(std::move(objects)) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+
+  const Vec& object(ObjectId id) const { return objects_[id]; }
+  const std::vector<Vec>& objects() const { return objects_; }
+
+  /// Appends an object; the first append fixes the dimensionality.
+  /// Returns the new object's id, or InvalidArgument on dimension mismatch.
+  StatusOr<ObjectId> Append(Vec v, int32_t label = kNoLabel);
+
+  bool has_labels() const { return !labels_.empty(); }
+  int32_t label(ObjectId id) const {
+    return has_labels() ? labels_[id] : kNoLabel;
+  }
+  const std::vector<int32_t>& labels() const { return labels_; }
+  void set_labels(std::vector<int32_t> labels) { labels_ = std::move(labels); }
+
+  /// Restricts to the given objects (e.g. one shared-nothing partition).
+  /// The i-th object of the result is `ids[i]`; labels follow.
+  Dataset Subset(const std::vector<ObjectId>& ids) const;
+
+  /// Per-dimension [min, max] over all objects (used by the VA-file grid
+  /// and the generators' sanity tests). Empty dataset yields empty vectors.
+  void Bounds(Vec* mins, Vec* maxs) const;
+
+  // --- persistence ----------------------------------------------------
+  /// Compact little-endian binary format with magic/versions.
+  Status SaveBinary(const std::string& path) const;
+  static StatusOr<Dataset> LoadBinary(const std::string& path);
+
+  /// CSV: one object per row, components then optional integer label.
+  Status SaveCsv(const std::string& path) const;
+  static StatusOr<Dataset> LoadCsv(const std::string& path, bool has_label);
+
+ private:
+  size_t dim_ = 0;
+  std::vector<Vec> objects_;
+  std::vector<int32_t> labels_;  // empty or size() entries
+};
+
+}  // namespace msq
+
+#endif  // MSQ_DATASET_DATASET_H_

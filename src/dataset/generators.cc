@@ -1,0 +1,147 @@
+#include "dataset/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/edit_distance.h"
+
+namespace msq {
+
+Dataset MakeUniformDataset(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> objects(n, Vec(dim));
+  for (auto& v : objects) {
+    for (auto& x : v) x = static_cast<Scalar>(rng.NextDouble());
+  }
+  return Dataset(dim, std::move(objects));
+}
+
+Dataset MakeGaussianClustersDataset(size_t n, size_t dim, size_t num_clusters,
+                                    double stddev, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> centers(num_clusters, Vec(dim));
+  for (auto& c : centers) {
+    for (auto& x : c) x = static_cast<Scalar>(rng.NextDouble());
+  }
+  Dataset ds;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextIndex(num_clusters);
+    Vec v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      const double x = centers[c][d] + stddev * rng.NextGaussian();
+      v[d] = static_cast<Scalar>(std::clamp(x, 0.0, 1.0));
+    }
+    auto id = ds.Append(std::move(v), static_cast<int32_t>(c));
+    (void)id;
+  }
+  return ds;
+}
+
+Dataset MakeTychoLikeDataset(const TychoLikeOptions& options) {
+  Rng rng(options.seed);
+  const size_t dim = options.dim;
+  const size_t latent = std::min(options.latent_dim, dim);
+  // A fixed random linear embedding of the latent space into feature space.
+  // Columns are unit-ish random directions; features therefore correlate.
+  std::vector<double> embedding(latent * dim);
+  for (auto& e : embedding) e = rng.NextGaussian() / std::sqrt(latent);
+  Dataset ds;
+  for (size_t i = 0; i < options.n; ++i) {
+    std::vector<double> z(latent);
+    for (auto& x : z) x = rng.NextDouble();  // uniform latent position
+    Vec v(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      double x = 0.0;
+      for (size_t l = 0; l < latent; ++l) x += z[l] * embedding[l * dim + d];
+      x += options.noise_stddev * rng.NextGaussian();
+      // Shift into a positive range resembling normalized magnitudes.
+      v[d] = static_cast<Scalar>(x + 2.0);
+    }
+    // Spectral class from the first latent coordinate: contiguous bands.
+    const int32_t label = static_cast<int32_t>(
+        std::min<double>(options.num_classes - 1,
+                         z[0] * static_cast<double>(options.num_classes)));
+    auto id = ds.Append(std::move(v), label);
+    (void)id;
+  }
+  return ds;
+}
+
+namespace {
+// Dirichlet(alpha * base) sample normalized to sum 1.
+Vec SampleDirichlet(Rng* rng, const std::vector<double>& alpha) {
+  Vec v(alpha.size());
+  double sum = 0.0;
+  for (size_t d = 0; d < alpha.size(); ++d) {
+    const double g = rng->NextGamma(alpha[d]);
+    v[d] = static_cast<Scalar>(g);
+    sum += g;
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw; fall back to uniform histogram.
+    const Scalar u = static_cast<Scalar>(1.0 / alpha.size());
+    for (auto& x : v) x = u;
+    return v;
+  }
+  for (auto& x : v) x = static_cast<Scalar>(x / sum);
+  return v;
+}
+}  // namespace
+
+Dataset MakeImageHistogramDataset(const ImageHistogramOptions& options) {
+  Rng rng(options.seed);
+  const size_t dim = options.dim;
+  // Cluster prototypes: spiky Dirichlet draws (few dominant colors).
+  std::vector<Vec> prototypes;
+  prototypes.reserve(options.num_clusters);
+  std::vector<double> proto_alpha(dim, options.prototype_concentration);
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    prototypes.push_back(SampleDirichlet(&rng, proto_alpha));
+  }
+  Dataset ds;
+  std::vector<double> alpha(dim);
+  for (size_t i = 0; i < options.n; ++i) {
+    const size_t c = rng.NextIndex(options.num_clusters);
+    for (size_t d = 0; d < dim; ++d) {
+      // Concentrate around the prototype; the epsilon keeps alpha positive.
+      alpha[d] = options.within_cluster_concentration *
+                     static_cast<double>(prototypes[c][d]) +
+                 0.01;
+    }
+    auto id = ds.Append(SampleDirichlet(&rng, alpha), static_cast<int32_t>(c));
+    (void)id;
+  }
+  return ds;
+}
+
+Dataset MakeSessionDataset(size_t num_sessions, size_t num_profiles,
+                           size_t alphabet, size_t max_length, uint64_t seed) {
+  Rng rng(seed);
+  // Each profile is a canonical click path; sessions mutate it.
+  std::vector<std::vector<int>> profiles(num_profiles);
+  for (auto& p : profiles) {
+    const size_t len = 4 + rng.NextIndex(max_length > 4 ? max_length - 4 : 1);
+    p.resize(len);
+    for (auto& s : p) s = static_cast<int>(rng.NextIndex(alphabet));
+  }
+  Dataset ds;
+  for (size_t i = 0; i < num_sessions; ++i) {
+    const size_t c = rng.NextIndex(num_profiles);
+    std::vector<int> seq = profiles[c];
+    // Mutate ~20% of positions; occasionally drop or append a click.
+    for (auto& s : seq) {
+      if (rng.NextDouble() < 0.2) s = static_cast<int>(rng.NextIndex(alphabet));
+    }
+    if (!seq.empty() && rng.NextDouble() < 0.3) seq.pop_back();
+    if (seq.size() < max_length && rng.NextDouble() < 0.3) {
+      seq.push_back(static_cast<int>(rng.NextIndex(alphabet)));
+    }
+    auto id = ds.Append(EncodeSequence(seq, max_length),
+                        static_cast<int32_t>(c));
+    (void)id;
+  }
+  return ds;
+}
+
+}  // namespace msq

@@ -1,0 +1,76 @@
+// Synthetic dataset generators, including the two surrogates for the
+// paper's evaluation data (Sec. 6):
+//
+//  * TychoLike — stands in for the Tycho catalogue (1,000,000 20-d star
+//    feature vectors, ESA). Real feature catalogues are globally spread but
+//    locally correlated (low intrinsic dimensionality), which is what gives
+//    a high-dimensional index selectivity; the generator embeds a
+//    low-dimensional latent structure into 20 dimensions plus noise.
+//  * ImageHistogramLike — stands in for the 112,000 64-d TV-snapshot color
+//    histograms. The paper attributes this dataset's larger CPU savings to
+//    its *highly clustered* distribution; a Dirichlet mixture over
+//    histogram bins (non-negative components summing to 1) reproduces that.
+//
+// Sizes are parameters; defaults in bench/ are laptop-scale. All generators
+// are deterministic given the seed.
+
+#ifndef MSQ_DATASET_GENERATORS_H_
+#define MSQ_DATASET_GENERATORS_H_
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+
+namespace msq {
+
+/// Uniform in [0,1]^dim.
+Dataset MakeUniformDataset(size_t n, size_t dim, uint64_t seed);
+
+/// Mixture of `num_clusters` isotropic Gaussians with the given standard
+/// deviation, centers uniform in [0,1]^dim, clipped to [0,1]. Labels record
+/// the generating cluster.
+Dataset MakeGaussianClustersDataset(size_t n, size_t dim, size_t num_clusters,
+                                    double stddev, uint64_t seed);
+
+struct TychoLikeOptions {
+  size_t n = 60000;
+  size_t dim = 20;
+  /// Intrinsic dimensionality of the latent structure.
+  size_t latent_dim = 6;
+  /// Noise added on top of the latent embedding.
+  double noise_stddev = 0.02;
+  /// Number of spectral classes used as labels (for the classification
+  /// mining task); derived from the latent position.
+  size_t num_classes = 7;
+  uint64_t seed = 42;
+};
+
+/// 20-d astronomy surrogate: globally near-uniform, locally correlated.
+Dataset MakeTychoLikeDataset(const TychoLikeOptions& options);
+
+struct ImageHistogramOptions {
+  size_t n = 20000;
+  size_t dim = 64;
+  /// Number of image "genres" (clusters of similar histograms).
+  size_t num_clusters = 40;
+  /// Dirichlet concentration within a cluster; smaller = tighter clusters.
+  double within_cluster_concentration = 400.0;
+  /// Dirichlet concentration of cluster prototypes; < 1 = spiky histograms.
+  double prototype_concentration = 0.5;
+  uint64_t seed = 97;
+};
+
+/// 64-d color-histogram surrogate: non-negative, unit-sum, highly
+/// clustered. Labels record the generating cluster.
+Dataset MakeImageHistogramDataset(const ImageHistogramOptions& options);
+
+/// Encoded symbol sequences for the general-metric (edit distance) path:
+/// `num_sessions` web-session-like sequences over an alphabet of
+/// `alphabet` page ids, generated from `num_profiles` user profiles with
+/// per-step mutation; labels record the profile.
+Dataset MakeSessionDataset(size_t num_sessions, size_t num_profiles,
+                           size_t alphabet, size_t max_length, uint64_t seed);
+
+}  // namespace msq
+
+#endif  // MSQ_DATASET_GENERATORS_H_

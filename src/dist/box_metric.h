@@ -1,0 +1,26 @@
+// BoxDistanceMetric: optional capability of vector-space metrics to bound
+// the distance from a point to an axis-aligned box (MINDIST). Tree indexes
+// over rectangles (the X-tree) require it; general metrics (edit distance,
+// quadratic form) do not provide it and are served by the M-tree or the
+// scan instead.
+
+#ifndef MSQ_DIST_BOX_METRIC_H_
+#define MSQ_DIST_BOX_METRIC_H_
+
+#include "dist/vector.h"
+
+namespace msq {
+
+/// Lower bound on the metric distance from `q` to any point of the box
+/// [lo, hi] (component-wise). Must be exact for points inside (0) and a
+/// true lower bound everywhere, or tree search would miss answers.
+class BoxDistanceMetric {
+ public:
+  virtual ~BoxDistanceMetric() = default;
+  virtual double MinDistToBox(const Vec& q, const Vec& lo,
+                              const Vec& hi) const = 0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_DIST_BOX_METRIC_H_

@@ -1,0 +1,230 @@
+#include "dist/builtin_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace msq {
+
+double EuclideanMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+namespace {
+// Per-dimension distance from q[d] to the interval [lo[d], hi[d]]: zero
+// inside, gap to the nearer edge outside.
+inline double BoxGap(Scalar q, Scalar lo, Scalar hi) {
+  if (q < lo) return static_cast<double>(lo) - q;
+  if (q > hi) return static_cast<double>(q) - hi;
+  return 0.0;
+}
+}  // namespace
+
+double EuclideanMetric::MinDistToBox(const Vec& q, const Vec& lo,
+                                     const Vec& hi) const {
+  assert(q.size() == lo.size() && q.size() == hi.size());
+  double sum = 0.0;
+  for (size_t d = 0; d < q.size(); ++d) {
+    const double g = BoxGap(q[d], lo[d], hi[d]);
+    sum += g * g;
+  }
+  return std::sqrt(sum);
+}
+
+double ManhattanMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return sum;
+}
+
+double ChebyshevMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double max = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max = std::max(max, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return max;
+}
+
+double ManhattanMetric::MinDistToBox(const Vec& q, const Vec& lo,
+                                     const Vec& hi) const {
+  double sum = 0.0;
+  for (size_t d = 0; d < q.size(); ++d) sum += BoxGap(q[d], lo[d], hi[d]);
+  return sum;
+}
+
+double ChebyshevMetric::MinDistToBox(const Vec& q, const Vec& lo,
+                                     const Vec& hi) const {
+  double max = 0.0;
+  for (size_t d = 0; d < q.size(); ++d) {
+    max = std::max(max, BoxGap(q[d], lo[d], hi[d]));
+  }
+  return max;
+}
+
+StatusOr<MinkowskiMetric> MinkowskiMetric::Make(double p) {
+  if (!(p >= 1.0)) {
+    return Status::InvalidArgument("Minkowski requires p >= 1 to be a metric");
+  }
+  return MinkowskiMetric(p);
+}
+
+double MinkowskiMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::pow(std::fabs(static_cast<double>(a[i]) - b[i]), p_);
+  }
+  return std::pow(sum, 1.0 / p_);
+}
+
+double MinkowskiMetric::MinDistToBox(const Vec& q, const Vec& lo,
+                                     const Vec& hi) const {
+  double sum = 0.0;
+  for (size_t d = 0; d < q.size(); ++d) {
+    sum += std::pow(BoxGap(q[d], lo[d], hi[d]), p_);
+  }
+  return std::pow(sum, 1.0 / p_);
+}
+
+std::string MinkowskiMetric::Name() const {
+  std::ostringstream os;
+  os << "minkowski_p" << p_;
+  return os.str();
+}
+
+StatusOr<WeightedEuclideanMetric> WeightedEuclideanMetric::Make(
+    std::vector<double> weights) {
+  for (double w : weights) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument(
+          "weighted Euclidean requires strictly positive weights");
+    }
+  }
+  if (weights.empty()) {
+    return Status::InvalidArgument("weight vector must be non-empty");
+  }
+  return WeightedEuclideanMetric(std::move(weights));
+}
+
+double WeightedEuclideanMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size() && a.size() == weights_.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += weights_[i] * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double WeightedEuclideanMetric::MinDistToBox(const Vec& q, const Vec& lo,
+                                             const Vec& hi) const {
+  double sum = 0.0;
+  for (size_t d = 0; d < q.size(); ++d) {
+    const double g = BoxGap(q[d], lo[d], hi[d]);
+    sum += weights_[d] * g * g;
+  }
+  return std::sqrt(sum);
+}
+
+namespace {
+// In-place Cholesky test for positive definiteness of a row-major symmetric
+// matrix. Returns false when a non-positive pivot appears.
+bool IsPositiveDefinite(size_t n, std::vector<double> m) {
+  for (size_t j = 0; j < n; ++j) {
+    double d = m[j * n + j];
+    for (size_t k = 0; k < j; ++k) d -= m[j * n + k] * m[j * n + k];
+    if (d <= 0.0) return false;
+    const double l = std::sqrt(d);
+    m[j * n + j] = l;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = m[i * n + j];
+      for (size_t k = 0; k < j; ++k) s -= m[i * n + k] * m[j * n + k];
+      m[i * n + j] = s / l;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+StatusOr<QuadraticFormMetric> QuadraticFormMetric::Make(
+    size_t dim, std::vector<double> matrix) {
+  if (matrix.size() != dim * dim) {
+    return Status::InvalidArgument("quadratic form matrix must be dim x dim");
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = i + 1; j < dim; ++j) {
+      if (std::fabs(matrix[i * dim + j] - matrix[j * dim + i]) > 1e-9) {
+        return Status::InvalidArgument("quadratic form matrix not symmetric");
+      }
+      // Enforce exact symmetry to keep Distance() symmetric bit-for-bit.
+      const double avg = 0.5 * (matrix[i * dim + j] + matrix[j * dim + i]);
+      matrix[i * dim + j] = matrix[j * dim + i] = avg;
+    }
+  }
+  if (!IsPositiveDefinite(dim, matrix)) {
+    return Status::InvalidArgument(
+        "quadratic form matrix must be positive definite to define a metric");
+  }
+  return QuadraticFormMetric(dim, std::move(matrix));
+}
+
+QuadraticFormMetric QuadraticFormMetric::HistogramSimilarity(size_t dim,
+                                                             double sigma) {
+  std::vector<double> m(dim * dim);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      const double delta =
+          std::fabs(static_cast<double>(i) - static_cast<double>(j)) /
+          static_cast<double>(dim);
+      m[i * dim + j] = std::exp(-sigma * delta);
+    }
+  }
+  auto made = Make(dim, std::move(m));
+  assert(made.ok());  // exp(-sigma |i-j|/d) is PD for sigma > 0.
+  return std::move(made).value();
+}
+
+double QuadraticFormMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == dim_ && b.size() == dim_);
+  // (a-b)^T A (a-b); O(d^2) — deliberately expensive, like the real
+  // histogram distance, which is why avoiding it matters.
+  double total = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    const double di = static_cast<double>(a[i]) - b[i];
+    if (di == 0.0) continue;
+    double row = 0.0;
+    for (size_t j = 0; j < dim_; ++j) {
+      row += matrix_[i * dim_ + j] * (static_cast<double>(a[j]) - b[j]);
+    }
+    total += di * row;
+  }
+  return std::sqrt(std::max(0.0, total));
+}
+
+double AngularMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 && nb == 0.0) return 0.0;
+  if (na == 0.0 || nb == 0.0) return M_PI / 2.0;
+  double c = dot / (std::sqrt(na) * std::sqrt(nb));
+  c = std::clamp(c, -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace msq

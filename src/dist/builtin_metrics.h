@@ -1,0 +1,117 @@
+// Built-in vector-space metrics: Lp family, weighted Euclidean, angular,
+// and the quadratic-form distance used for color-histogram similarity
+// (Seidl & Kriegel, VLDB'97 — reference [21] of the paper).
+
+#ifndef MSQ_DIST_BUILTIN_METRICS_H_
+#define MSQ_DIST_BUILTIN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/box_metric.h"
+#include "dist/metric.h"
+
+namespace msq {
+
+/// L2 distance, the paper's default.
+class EuclideanMetric : public Metric, public BoxDistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  double MinDistToBox(const Vec& q, const Vec& lo,
+                      const Vec& hi) const override;
+  std::string Name() const override { return "euclidean"; }
+};
+
+/// L1 distance.
+class ManhattanMetric : public Metric, public BoxDistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  double MinDistToBox(const Vec& q, const Vec& lo,
+                      const Vec& hi) const override;
+  std::string Name() const override { return "manhattan"; }
+};
+
+/// L-infinity distance.
+class ChebyshevMetric : public Metric, public BoxDistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  double MinDistToBox(const Vec& q, const Vec& lo,
+                      const Vec& hi) const override;
+  std::string Name() const override { return "chebyshev"; }
+};
+
+/// Lp distance for p >= 1 (p < 1 is not a metric and is rejected).
+class MinkowskiMetric : public Metric, public BoxDistanceMetric {
+ public:
+  /// Requires p >= 1.
+  static StatusOr<MinkowskiMetric> Make(double p);
+
+  double Distance(const Vec& a, const Vec& b) const override;
+  double MinDistToBox(const Vec& q, const Vec& lo,
+                      const Vec& hi) const override;
+  std::string Name() const override;
+
+ private:
+  explicit MinkowskiMetric(double p) : p_(p) {}
+  double p_;
+};
+
+/// Weighted L2: sqrt(sum_i w_i (a_i - b_i)^2), weights strictly positive.
+class WeightedEuclideanMetric : public Metric, public BoxDistanceMetric {
+ public:
+  /// Requires all weights > 0 (zero weights would break identity).
+  static StatusOr<WeightedEuclideanMetric> Make(std::vector<double> weights);
+
+  double Distance(const Vec& a, const Vec& b) const override;
+  double MinDistToBox(const Vec& q, const Vec& lo,
+                      const Vec& hi) const override;
+  std::string Name() const override { return "weighted_euclidean"; }
+
+ private:
+  explicit WeightedEuclideanMetric(std::vector<double> w)
+      : weights_(std::move(w)) {}
+  std::vector<double> weights_;
+};
+
+/// Quadratic-form distance sqrt((a-b)^T A (a-b)) with A symmetric positive
+/// definite. Used for color-histogram similarity where A encodes cross-bin
+/// color similarity [21].
+class QuadraticFormMetric : public Metric {
+ public:
+  /// `matrix` is row-major dim x dim. Symmetry is enforced exactly;
+  /// positive definiteness is verified via Cholesky (rejects otherwise,
+  /// since a non-PD form is not a metric).
+  static StatusOr<QuadraticFormMetric> Make(size_t dim,
+                                            std::vector<double> matrix);
+
+  /// The standard histogram-similarity form A[i][j] = exp(-sigma * |i-j|/d)
+  /// for bin indices i, j — PD for sigma > 0.
+  static QuadraticFormMetric HistogramSimilarity(size_t dim,
+                                                 double sigma = 3.0);
+
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "quadratic_form"; }
+
+  size_t dim() const { return dim_; }
+
+ private:
+  QuadraticFormMetric(size_t dim, std::vector<double> matrix)
+      : dim_(dim), matrix_(std::move(matrix)) {}
+  size_t dim_;
+  std::vector<double> matrix_;  // row-major dim_ x dim_
+};
+
+/// Angular distance acos(cos_sim(a, b)) in radians — a true metric on the
+/// unit sphere (unlike "cosine distance" 1 - cos, which violates the
+/// triangle inequality). Zero vectors are treated as distance pi/2 from
+/// everything except another zero vector.
+class AngularMetric : public Metric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "angular"; }
+};
+
+}  // namespace msq
+
+#endif  // MSQ_DIST_BUILTIN_METRICS_H_

@@ -1,0 +1,4 @@
+#include "dist/counting_metric.h"
+
+// Header-only by design; this translation unit anchors the header in the
+// library so IWYU-style builds link it.

@@ -1,0 +1,57 @@
+// CountingMetric: decorator charging every distance computation to a
+// QueryStats. All engine code computes distances exclusively through this
+// wrapper, so `dist_computations` in the reported statistics is exact.
+
+#ifndef MSQ_DIST_COUNTING_METRIC_H_
+#define MSQ_DIST_COUNTING_METRIC_H_
+
+#include <memory>
+
+#include "common/stats.h"
+#include "dist/metric.h"
+
+namespace msq {
+
+/// Wraps a Metric and charges one `dist_computations` (or
+/// `matrix_dist_computations` via DistanceForMatrix) per call to the stats
+/// sink installed with set_stats(). The sink is borrowed, not owned; engines
+/// re-point it at the currently executing query's stats.
+class CountingMetric {
+ public:
+  explicit CountingMetric(std::shared_ptr<const Metric> base)
+      : base_(std::move(base)) {}
+
+  /// Re-points the accounting sink. Pass nullptr to count nothing.
+  void set_stats(QueryStats* stats) { stats_ = stats; }
+  QueryStats* stats() const { return stats_; }
+
+  /// Counted distance computation against a database object.
+  double Distance(const Vec& a, const Vec& b) const {
+    if (stats_ != nullptr) ++stats_->dist_computations;
+    return base_->Distance(a, b);
+  }
+
+  /// Counted distance computation charged to the query-distance-matrix
+  /// budget (the m(m-1)/2 term of the paper's CPU formula).
+  double DistanceForMatrix(const Vec& a, const Vec& b) const {
+    if (stats_ != nullptr) ++stats_->matrix_dist_computations;
+    return base_->Distance(a, b);
+  }
+
+  /// Uncounted computation, for test oracles and bulk-load preprocessing
+  /// that the paper's cost model does not charge to query execution.
+  double DistanceUncounted(const Vec& a, const Vec& b) const {
+    return base_->Distance(a, b);
+  }
+
+  const Metric& base() const { return *base_; }
+  std::shared_ptr<const Metric> base_ptr() const { return base_; }
+
+ private:
+  std::shared_ptr<const Metric> base_;
+  QueryStats* stats_ = nullptr;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_DIST_COUNTING_METRIC_H_

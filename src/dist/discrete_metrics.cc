@@ -1,0 +1,35 @@
+#include "dist/discrete_metrics.h"
+
+#include <cassert>
+
+namespace msq {
+
+double HammingMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  size_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += (a[i] != b[i]);
+  return static_cast<double>(diff);
+}
+
+double JaccardMetric::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  size_t inter = 0, uni = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool in_a = a[i] > 0.5f;
+    const bool in_b = b[i] > 0.5f;
+    inter += (in_a && in_b);
+    uni += (in_a || in_b);
+  }
+  if (uni == 0) return 0.0;  // both sets empty
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+Vec EncodeSet(const std::vector<int>& elements, size_t universe) {
+  Vec v(universe, 0.0f);
+  for (int e : elements) {
+    if (e >= 0 && static_cast<size_t>(e) < universe) v[e] = 1.0f;
+  }
+  return v;
+}
+
+}  // namespace msq

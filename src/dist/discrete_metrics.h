@@ -1,0 +1,39 @@
+// Discrete metrics for non-geometric data: Hamming distance over symbol
+// vectors and Jaccard distance over (binary-encoded) sets. Both are true
+// metrics, so the multiple-query machinery — matrix, Lemmas 1/2, M-tree —
+// applies unchanged; together with the edit distance they cover the
+// paper's "general metric database" setting (Sec. 2).
+
+#ifndef MSQ_DIST_DISCRETE_METRICS_H_
+#define MSQ_DIST_DISCRETE_METRICS_H_
+
+#include <string>
+
+#include "dist/metric.h"
+
+namespace msq {
+
+/// Number of positions at which two equal-length symbol vectors differ.
+/// Components are compared exactly (intended for integer-coded data).
+class HammingMetric : public Metric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "hamming"; }
+};
+
+/// Jaccard distance 1 - |A ∩ B| / |A ∪ B| over sets encoded as binary
+/// indicator vectors (component > 0.5 means "element present"). Two empty
+/// sets have distance 0. A metric by the Steinhaus transform.
+class JaccardMetric : public Metric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "jaccard"; }
+};
+
+/// Encodes a set of element indices into an indicator Vec of size
+/// `universe`. Out-of-range elements are ignored.
+Vec EncodeSet(const std::vector<int>& elements, size_t universe);
+
+}  // namespace msq
+
+#endif  // MSQ_DIST_DISCRETE_METRICS_H_

@@ -1,0 +1,56 @@
+#include "dist/edit_distance.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace msq {
+
+Vec EncodeSequence(const std::vector<int>& symbols, size_t capacity) {
+  Vec v(capacity, kSequenceEnd);
+  const size_t n = std::min(symbols.size(), capacity);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<Scalar>(symbols[i]);
+  return v;
+}
+
+Vec EncodeString(const std::string& s, size_t capacity) {
+  std::vector<int> syms(s.begin(), s.end());
+  return EncodeSequence(syms, capacity);
+}
+
+std::vector<int> DecodeSequence(const Vec& v) {
+  std::vector<int> out;
+  for (Scalar x : v) {
+    if (x == kSequenceEnd) break;
+    out.push_back(static_cast<int>(x));
+  }
+  return out;
+}
+
+namespace {
+size_t SequenceLength(const Vec& v) {
+  size_t n = 0;
+  while (n < v.size() && v[n] != kSequenceEnd) ++n;
+  return n;
+}
+}  // namespace
+
+double EditDistanceMetric::Distance(const Vec& a, const Vec& b) const {
+  const size_t la = SequenceLength(a);
+  const size_t lb = SequenceLength(b);
+  if (la == 0) return static_cast<double>(lb);
+  if (lb == 0) return static_cast<double>(la);
+  // Two-row dynamic program.
+  std::vector<uint32_t> prev(lb + 1), cur(lb + 1);
+  for (size_t j = 0; j <= lb; ++j) prev[j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = static_cast<uint32_t>(i);
+    for (size_t j = 1; j <= lb; ++j) {
+      const uint32_t sub_cost = (a[i - 1] == b[j - 1]) ? 0u : 1u;
+      cur[j] = std::min({prev[j] + 1u, cur[j - 1] + 1u, prev[j - 1] + sub_cost});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[lb]);
+}
+
+}  // namespace msq

@@ -1,0 +1,45 @@
+// Edit (Levenshtein) distance over coded symbol sequences — the library's
+// general-metric example beyond vector spaces, matching the paper's WWW
+// session example (Sec. 2): objects that are not from a vector space but for
+// which a metric distance can be supplied.
+//
+// Sequences are encoded into fixed-length Vecs so the one object model of
+// the engine (dist/vector.h) serves metric data too: each component holds a
+// non-negative integer symbol code, and the first component equal to
+// kSequenceEnd terminates the sequence.
+
+#ifndef MSQ_DIST_EDIT_DISTANCE_H_
+#define MSQ_DIST_EDIT_DISTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/metric.h"
+
+namespace msq {
+
+/// Terminator code marking the end of an encoded sequence.
+inline constexpr Scalar kSequenceEnd = -1.0f;
+
+/// Encodes a symbol sequence into a Vec of capacity `capacity`; the unused
+/// tail is filled with kSequenceEnd. Sequences longer than the capacity are
+/// truncated.
+Vec EncodeSequence(const std::vector<int>& symbols, size_t capacity);
+
+/// Encodes a byte string (each char is a symbol).
+Vec EncodeString(const std::string& s, size_t capacity);
+
+/// Decodes the symbol sequence out of an encoded Vec.
+std::vector<int> DecodeSequence(const Vec& v);
+
+/// Levenshtein distance with unit insert/delete/substitute costs —
+/// a true metric on sequences.
+class EditDistanceMetric : public Metric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "edit_distance"; }
+};
+
+}  // namespace msq
+
+#endif  // MSQ_DIST_EDIT_DISTANCE_H_

@@ -1,0 +1,23 @@
+#include "dist/metric.h"
+
+#include "dist/builtin_metrics.h"
+
+namespace msq {
+
+StatusOr<std::shared_ptr<Metric>> MakeMetric(const std::string& name) {
+  if (name == "euclidean") {
+    return std::shared_ptr<Metric>(new EuclideanMetric());
+  }
+  if (name == "manhattan") {
+    return std::shared_ptr<Metric>(new ManhattanMetric());
+  }
+  if (name == "chebyshev") {
+    return std::shared_ptr<Metric>(new ChebyshevMetric());
+  }
+  if (name == "angular") {
+    return std::shared_ptr<Metric>(new AngularMetric());
+  }
+  return Status::InvalidArgument("unknown metric '" + name + "'");
+}
+
+}  // namespace msq

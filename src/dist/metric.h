@@ -1,0 +1,40 @@
+// Metric distance functions (Sec. 2 of the paper).
+//
+// A Metric must satisfy identity, symmetry, and the triangle inequality —
+// the multiple-query engine's CPU-saving technique (Lemmas 1 and 2) is only
+// sound for true metrics. tests/dist_test.cc property-checks each shipped
+// metric on random samples.
+
+#ifndef MSQ_DIST_METRIC_H_
+#define MSQ_DIST_METRIC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "dist/vector.h"
+
+namespace msq {
+
+/// Interface of a metric distance function over feature vectors.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Distance between a and b. Must be a metric (identity, symmetry,
+  /// triangle inequality). Both vectors must have the dimensionality this
+  /// metric was constructed for.
+  virtual double Distance(const Vec& a, const Vec& b) const = 0;
+
+  /// Short identifier, e.g. "euclidean".
+  virtual std::string Name() const = 0;
+};
+
+/// Creates a metric by name. Supported: "euclidean", "manhattan",
+/// "chebyshev", "angular". Parameterized metrics (weighted, Minkowski,
+/// quadratic-form, edit) are constructed directly via their classes.
+StatusOr<std::shared_ptr<Metric>> MakeMetric(const std::string& name);
+
+}  // namespace msq
+
+#endif  // MSQ_DIST_METRIC_H_

@@ -1,0 +1,36 @@
+#include "dist/vector.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace msq {
+
+std::string VecToString(const Vec& v, size_t max_components) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "(";
+  const size_t n = v.size() < max_components ? v.size() : max_components;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << v[i];
+  }
+  if (v.size() > n) os << ", ...";
+  os << ")";
+  return os.str();
+}
+
+double VecNorm(const Vec& v) {
+  double sum = 0.0;
+  for (Scalar x : v) sum += static_cast<double>(x) * x;
+  return std::sqrt(sum);
+}
+
+Vec VecSub(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace msq

@@ -1,0 +1,44 @@
+// Feature-vector representation of database objects.
+//
+// The paper's metric databases include vector data (star catalogues, color
+// histograms) as the prominent special case and general metric data (e.g.
+// web sessions) as the general case. We represent every object as a Vec of
+// float32 components; general metric data is encoded into Vecs (see
+// dist/edit_distance.h for the sequence encoding) so that one object model
+// serves all metrics.
+
+#ifndef MSQ_DIST_VECTOR_H_
+#define MSQ_DIST_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/// Component type. float keeps the per-object footprint at 4*d bytes, the
+/// figure the storage layer uses to derive page capacity (32 KB pages).
+using Scalar = float;
+
+/// A feature vector.
+using Vec = std::vector<Scalar>;
+
+/// Identifier of an object inside one Dataset: its position in the dataset.
+using ObjectId = uint32_t;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObjectId = 0xffffffffu;
+
+/// Renders "(v0, v1, ...)" with limited precision for logs and examples.
+std::string VecToString(const Vec& v, size_t max_components = 8);
+
+/// Euclidean norm.
+double VecNorm(const Vec& v);
+
+/// Component-wise a - b; requires equal sizes.
+Vec VecSub(const Vec& a, const Vec& b);
+
+}  // namespace msq
+
+#endif  // MSQ_DIST_VECTOR_H_

@@ -1,0 +1,86 @@
+#include "mining/knn_classifier.h"
+
+#include <algorithm>
+#include <map>
+
+namespace msq {
+
+namespace {
+
+int32_t MajorityLabel(const Dataset& ds, ObjectId self,
+                      const AnswerSet& answers) {
+  std::map<int32_t, size_t> votes;
+  for (const Neighbor& nb : answers) {
+    if (nb.id == self) continue;  // the object does not vote for itself
+    const int32_t label = ds.label(nb.id);
+    if (label != kNoLabel) ++votes[label];
+  }
+  int32_t best = kNoLabel;
+  size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {  // std::map iterates ascending: ties -> smaller
+      best_count = count;
+      best = label;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+StatusOr<ClassificationResult> ClassifyObjects(
+    MetricDatabase* db, const std::vector<ObjectId>& objects,
+    const KnnClassifierParams& params) {
+  if (db == nullptr) return Status::InvalidArgument("db is null");
+  if (!db->dataset().has_labels()) {
+    return Status::InvalidArgument("kNN classification requires labels");
+  }
+  if (params.k == 0 || params.batch_size == 0) {
+    return Status::InvalidArgument("k and batch_size must be positive");
+  }
+  const size_t effective_batch =
+      std::min(params.batch_size, db->engine().options().max_batch_size);
+
+  ClassificationResult result;
+  result.predicted.assign(objects.size(), kNoLabel);
+  size_t correct = 0;
+
+  // Query k+1 neighbors so that the query object itself (always its own
+  // nearest neighbor) leaves k voters.
+  for (size_t block = 0; block < objects.size(); block += effective_batch) {
+    const size_t end = std::min(objects.size(), block + effective_batch);
+    std::vector<AnswerSet> answers;
+    if (params.use_multiple) {
+      std::vector<Query> queries;
+      queries.reserve(end - block);
+      for (size_t i = block; i < end; ++i) {
+        queries.push_back(db->MakeObjectKnnQuery(objects[i], params.k + 1));
+      }
+      auto got = db->MultipleSimilarityQueryAll(queries);
+      if (!got.ok()) return got.status();
+      answers = std::move(got).value();
+    } else {
+      for (size_t i = block; i < end; ++i) {
+        auto got = db->SimilarityQuery(
+            db->MakeObjectKnnQuery(objects[i], params.k + 1));
+        if (!got.ok()) return got.status();
+        answers.push_back(std::move(got).value());
+      }
+    }
+    for (size_t i = block; i < end; ++i) {
+      const int32_t predicted =
+          MajorityLabel(db->dataset(), objects[i], answers[i - block]);
+      result.predicted[i] = predicted;
+      if (predicted != kNoLabel && predicted == db->dataset().label(objects[i])) {
+        ++correct;
+      }
+    }
+  }
+  result.accuracy = objects.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(objects.size());
+  return result;
+}
+
+}  // namespace msq

@@ -1,0 +1,103 @@
+#include "mining/knn_graph.h"
+
+#include <algorithm>
+
+namespace msq {
+
+namespace {
+
+// kNN answers (self excluded) for every database object, in blocks.
+Status AllKnn(MetricDatabase* db, size_t k, size_t batch_size,
+              bool use_multiple, std::vector<AnswerSet>* out) {
+  const size_t n = db->dataset().size();
+  const size_t effective_batch =
+      std::min(batch_size, db->engine().options().max_batch_size);
+  out->clear();
+  out->reserve(n);
+  for (size_t block = 0; block < n; block += effective_batch) {
+    const size_t end = std::min(n, block + effective_batch);
+    std::vector<AnswerSet> answers;
+    if (use_multiple) {
+      std::vector<Query> batch;
+      batch.reserve(end - block);
+      for (size_t i = block; i < end; ++i) {
+        // k+1 so that dropping the object itself leaves k neighbors.
+        batch.push_back(
+            db->MakeObjectKnnQuery(static_cast<ObjectId>(i), k + 1));
+      }
+      auto got = db->MultipleSimilarityQueryAll(batch);
+      if (!got.ok()) return got.status();
+      answers = std::move(got).value();
+    } else {
+      for (size_t i = block; i < end; ++i) {
+        auto got = db->SimilarityQuery(
+            db->MakeObjectKnnQuery(static_cast<ObjectId>(i), k + 1));
+        if (!got.ok()) return got.status();
+        answers.push_back(std::move(got).value());
+      }
+    }
+    for (size_t i = block; i < end; ++i) {
+      const ObjectId self = static_cast<ObjectId>(i);
+      AnswerSet filtered;
+      filtered.reserve(k);
+      for (const Neighbor& nb : answers[i - block]) {
+        if (nb.id != self && filtered.size() < k) filtered.push_back(nb);
+      }
+      out->push_back(std::move(filtered));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double KnnGraph::MutualEdgeFraction() const {
+  size_t edges = 0, mutual = 0;
+  for (ObjectId a = 0; a < neighbors.size(); ++a) {
+    for (const Neighbor& nb : neighbors[a]) {
+      ++edges;
+      const AnswerSet& back = neighbors[nb.id];
+      for (const Neighbor& rev : back) {
+        if (rev.id == a) {
+          ++mutual;
+          break;
+        }
+      }
+    }
+  }
+  return edges == 0 ? 0.0
+                    : static_cast<double>(mutual) /
+                          static_cast<double>(edges);
+}
+
+StatusOr<KnnGraph> BuildKnnGraph(MetricDatabase* db,
+                                 const KnnGraphParams& params) {
+  if (db == nullptr) return Status::InvalidArgument("db is null");
+  if (params.k == 0 || params.batch_size == 0) {
+    return Status::InvalidArgument("k and batch_size must be positive");
+  }
+  KnnGraph graph;
+  MSQ_RETURN_IF_ERROR(AllKnn(db, params.k, params.batch_size,
+                             params.use_multiple, &graph.neighbors));
+  return graph;
+}
+
+StatusOr<std::vector<double>> KDistanceList(MetricDatabase* db,
+                                            const KnnGraphParams& params) {
+  if (db == nullptr) return Status::InvalidArgument("db is null");
+  if (params.k == 0 || params.batch_size == 0) {
+    return Status::InvalidArgument("k and batch_size must be positive");
+  }
+  std::vector<AnswerSet> neighbors;
+  MSQ_RETURN_IF_ERROR(AllKnn(db, params.k, params.batch_size,
+                             params.use_multiple, &neighbors));
+  std::vector<double> k_dist;
+  k_dist.reserve(neighbors.size());
+  for (const AnswerSet& a : neighbors) {
+    k_dist.push_back(a.empty() ? 0.0 : a.back().distance);
+  }
+  std::sort(k_dist.begin(), k_dist.end(), std::greater<double>());
+  return k_dist;
+}
+
+}  // namespace msq

@@ -1,0 +1,3 @@
+#include "mtree/mtree_node.h"
+
+// Data-only definitions; this translation unit anchors the header.

@@ -1,0 +1,52 @@
+// M-tree node representation (Ciaccia, Patella, Zezula, VLDB'97).
+//
+// Every node is described by a routing object, a covering radius bounding
+// the distance from the routing object to anything in the subtree, and its
+// distance to the parent's routing object (enabling triangle-inequality
+// pruning during search without extra distance computations).
+
+#ifndef MSQ_MTREE_MTREE_NODE_H_
+#define MSQ_MTREE_MTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/vector.h"
+#include "storage/page.h"
+
+namespace msq {
+
+using MNodeIndex = uint32_t;
+inline constexpr MNodeIndex kInvalidMNode = 0xffffffffu;
+
+/// Leaf entry: an object and its (precomputed) distance to the leaf's
+/// routing object.
+struct MLeafEntry {
+  ObjectId object = kInvalidObjectId;
+  double dist_to_parent = 0.0;
+};
+
+/// One M-tree node. Directory nodes hold child node indices; the routing
+/// data of a child (routing object, covering radius, parent distance)
+/// lives on the child itself.
+struct MNode {
+  bool is_leaf = true;
+  MNodeIndex parent = kInvalidMNode;
+  /// This subtree's routing object (invalid for the root).
+  ObjectId routing_object = kInvalidObjectId;
+  /// Covering radius: max distance from routing_object to any object in
+  /// the subtree. 0 while the node is the root.
+  double radius = 0.0;
+  /// dist(routing_object, parent's routing_object).
+  double dist_to_parent = 0.0;
+  /// Children (directory nodes only).
+  std::vector<MNodeIndex> children;
+  /// Stored objects (leaves only).
+  std::vector<MLeafEntry> objects;
+  /// Data page of a finalized leaf.
+  PageId page = kInvalidPageId;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_MTREE_MTREE_NODE_H_

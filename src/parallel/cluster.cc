@@ -1,0 +1,103 @@
+#include "parallel/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace msq {
+
+StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
+    const Dataset& dataset, std::shared_ptr<const Metric> metric,
+    const ClusterOptions& options) {
+  auto partitions = DeclusterDataset(dataset, options.num_servers,
+                                     options.strategy, options.seed);
+  if (!partitions.ok()) return partitions.status();
+
+  auto cluster = std::unique_ptr<SharedNothingCluster>(
+      new SharedNothingCluster());
+  cluster->partitions_ = std::move(partitions).value();
+  cluster->dim_ = dataset.dim();
+  cluster->servers_.reserve(options.num_servers);
+  for (const auto& part : cluster->partitions_) {
+    auto db = MetricDatabase::Open(dataset.Subset(part), metric,
+                                   options.server_options);
+    if (!db.ok()) return db.status();
+    cluster->servers_.push_back(std::move(db).value());
+  }
+  cluster->use_threads_ = options.use_threads;
+  return cluster;
+}
+
+StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
+    const std::vector<Query>& queries) {
+  const size_t s = servers_.size();
+  std::vector<std::vector<AnswerSet>> local(s);
+  std::vector<Status> status(s);
+
+  auto run_server = [&](size_t i) {
+    auto got = servers_[i]->MultipleSimilarityQueryAll(queries);
+    if (got.ok()) {
+      local[i] = std::move(got).value();
+    } else {
+      status[i] = got.status();
+    }
+  };
+
+  if (use_threads_) {
+    std::vector<std::thread> threads;
+    threads.reserve(s);
+    for (size_t i = 0; i < s; ++i) threads.emplace_back(run_server, i);
+    for (auto& t : threads) t.join();
+  } else {
+    for (size_t i = 0; i < s; ++i) run_server(i);
+  }
+  for (const Status& st : status) {
+    MSQ_RETURN_IF_ERROR(st);
+  }
+
+  // Merge: translate local object ids to global ids, combine in
+  // (distance, global id) order and re-apply the query type's bounds —
+  // the global kNN set is contained in the union of the local kNN sets.
+  std::vector<AnswerSet> merged(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    AnswerSet all;
+    for (size_t i = 0; i < s; ++i) {
+      for (const Neighbor& nb : local[i][q]) {
+        all.push_back({partitions_[i][nb.id], nb.distance});
+      }
+    }
+    std::sort(all.begin(), all.end());
+    const QueryType& type = queries[q].type;
+    if (type.Adaptive() && all.size() > type.cardinality) {
+      all.resize(type.cardinality);
+    }
+    merged[q] = std::move(all);
+  }
+  return merged;
+}
+
+std::vector<QueryStats> SharedNothingCluster::ServerStats() const {
+  std::vector<QueryStats> stats;
+  stats.reserve(servers_.size());
+  for (const auto& db : servers_) stats.push_back(db->stats());
+  return stats;
+}
+
+double SharedNothingCluster::ModeledElapsedMillis() const {
+  double max_ms = 0.0;
+  for (const auto& db : servers_) {
+    max_ms = std::max(max_ms, db->ModeledTotalMillis());
+  }
+  return max_ms;
+}
+
+double SharedNothingCluster::ModeledTotalWorkMillis() const {
+  double sum = 0.0;
+  for (const auto& db : servers_) sum += db->ModeledTotalMillis();
+  return sum;
+}
+
+void SharedNothingCluster::ResetAll() {
+  for (const auto& db : servers_) db->ResetAll();
+}
+
+}  // namespace msq

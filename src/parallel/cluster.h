@@ -1,0 +1,77 @@
+// SharedNothingCluster: the parallel query processor of Sec. 5.3.
+//
+// The dataset is declustered over s servers; every server holds its own
+// complete database organization (scan / X-tree / M-tree / VA-file) over
+// its partition, executes the same multiple similarity queries on its
+// local data on its own thread, and the coordinator merges the per-server
+// answers. Communication cost is negligible in the paper's setting, so the
+// modeled parallel elapsed time is the *maximum* per-server cost — each
+// server pays its own query-distance matrix initialization, reproducing
+// the quadratic-in-m effect the paper reports for large m.
+
+#ifndef MSQ_PARALLEL_CLUSTER_H_
+#define MSQ_PARALLEL_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/database.h"
+#include "parallel/decluster.h"
+
+namespace msq {
+
+struct ClusterOptions {
+  size_t num_servers = 4;
+  DeclusterStrategy strategy = DeclusterStrategy::kRoundRobin;
+  /// Per-server database configuration (backend, page size, batch limits).
+  DatabaseOptions server_options;
+  /// Run server queries on real threads (off: sequential execution; the
+  /// modeled cost is identical, wall-clock differs).
+  bool use_threads = true;
+  uint64_t seed = 17;
+};
+
+/// A simulated shared-nothing cluster of MetricDatabases.
+class SharedNothingCluster {
+ public:
+  /// Declusters `dataset` and builds one server database per partition.
+  static StatusOr<std::unique_ptr<SharedNothingCluster>> Create(
+      const Dataset& dataset, std::shared_ptr<const Metric> metric,
+      const ClusterOptions& options);
+
+  /// Executes the batch on every server (each completes all m queries on
+  /// its local data) and merges the per-server answers into global answer
+  /// sets honoring each query's type. Answer object ids are global.
+  StatusOr<std::vector<AnswerSet>> ExecuteMultipleAll(
+      const std::vector<Query>& queries);
+
+  size_t num_servers() const { return servers_.size(); }
+  MetricDatabase& server(size_t i) { return *servers_[i]; }
+  const std::vector<std::vector<ObjectId>>& partitions() const {
+    return partitions_;
+  }
+
+  /// Cumulative per-server statistics (since the last ResetAll).
+  std::vector<QueryStats> ServerStats() const;
+  /// Modeled parallel elapsed time: max over servers of modeled total
+  /// (I/O + CPU) time.
+  double ModeledElapsedMillis() const;
+  /// Sum of all servers' modeled time (the work, not the makespan).
+  double ModeledTotalWorkMillis() const;
+
+  void ResetAll();
+
+ private:
+  SharedNothingCluster() = default;
+
+  std::vector<std::unique_ptr<MetricDatabase>> servers_;
+  std::vector<std::vector<ObjectId>> partitions_;  // local id -> global id
+  size_t dim_ = 0;
+  bool use_threads_ = true;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_PARALLEL_CLUSTER_H_

@@ -1,0 +1,138 @@
+#include "parallel/decluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace msq {
+
+std::string DeclusterStrategyName(DeclusterStrategy strategy) {
+  switch (strategy) {
+    case DeclusterStrategy::kRoundRobin:
+      return "round_robin";
+    case DeclusterStrategy::kRandom:
+      return "random";
+    case DeclusterStrategy::kChunked:
+      return "chunked";
+    case DeclusterStrategy::kSpatial:
+      return "spatial";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Recursive median split on the dimension of maximum spread, cutting the
+// target server count as evenly as possible.
+void SpatialSplit(const Dataset& dataset, std::vector<ObjectId>* ids,
+                  size_t from, size_t to, size_t servers,
+                  std::vector<std::vector<ObjectId>>* out) {
+  if (servers <= 1) {
+    out->emplace_back(ids->begin() + static_cast<ptrdiff_t>(from),
+                      ids->begin() + static_cast<ptrdiff_t>(to));
+    return;
+  }
+  const size_t dim = dataset.dim();
+  size_t axis = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    Scalar mn = std::numeric_limits<Scalar>::max();
+    Scalar mx = std::numeric_limits<Scalar>::lowest();
+    for (size_t i = from; i < to; ++i) {
+      mn = std::min(mn, dataset.object((*ids)[i])[d]);
+      mx = std::max(mx, dataset.object((*ids)[i])[d]);
+    }
+    if (static_cast<double>(mx) - mn > best_spread) {
+      best_spread = static_cast<double>(mx) - mn;
+      axis = d;
+    }
+  }
+  const size_t left_servers = servers / 2;
+  const size_t n = to - from;
+  const size_t mid =
+      from + n * left_servers / servers;  // proportional to server split
+  std::nth_element(ids->begin() + static_cast<ptrdiff_t>(from),
+                   ids->begin() + static_cast<ptrdiff_t>(mid),
+                   ids->begin() + static_cast<ptrdiff_t>(to),
+                   [&](ObjectId a, ObjectId b) {
+                     return dataset.object(a)[axis] <
+                            dataset.object(b)[axis];
+                   });
+  SpatialSplit(dataset, ids, from, mid, left_servers, out);
+  SpatialSplit(dataset, ids, mid, to, servers - left_servers, out);
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<ObjectId>>> DeclusterDataset(
+    const Dataset& dataset, size_t num_servers, DeclusterStrategy strategy,
+    uint64_t seed) {
+  if (strategy != DeclusterStrategy::kSpatial) {
+    return Decluster(dataset.size(), num_servers, strategy, seed);
+  }
+  if (num_servers == 0) {
+    return Status::InvalidArgument("num_servers must be positive");
+  }
+  if (dataset.size() < num_servers) {
+    return Status::InvalidArgument("fewer objects than servers");
+  }
+  std::vector<ObjectId> ids(dataset.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<ObjectId>(i);
+  std::vector<std::vector<ObjectId>> partitions;
+  partitions.reserve(num_servers);
+  SpatialSplit(dataset, &ids, 0, ids.size(), num_servers, &partitions);
+  return partitions;
+}
+
+StatusOr<std::vector<std::vector<ObjectId>>> Decluster(
+    size_t num_objects, size_t num_servers, DeclusterStrategy strategy,
+    uint64_t seed) {
+  if (num_servers == 0) {
+    return Status::InvalidArgument("num_servers must be positive");
+  }
+  if (num_objects < num_servers) {
+    return Status::InvalidArgument("fewer objects than servers");
+  }
+  std::vector<std::vector<ObjectId>> partitions(num_servers);
+  switch (strategy) {
+    case DeclusterStrategy::kRoundRobin:
+      for (size_t i = 0; i < num_objects; ++i) {
+        partitions[i % num_servers].push_back(static_cast<ObjectId>(i));
+      }
+      break;
+    case DeclusterStrategy::kRandom: {
+      Rng rng(seed);
+      for (size_t i = 0; i < num_objects; ++i) {
+        partitions[rng.NextIndex(num_servers)].push_back(
+            static_cast<ObjectId>(i));
+      }
+      // Random assignment can leave a server empty on tiny inputs; steal
+      // from the largest partition to keep every server non-empty.
+      for (auto& p : partitions) {
+        if (!p.empty()) continue;
+        auto largest = &partitions[0];
+        for (auto& q : partitions) {
+          if (q.size() > largest->size()) largest = &q;
+        }
+        p.push_back(largest->back());
+        largest->pop_back();
+      }
+      break;
+    }
+    case DeclusterStrategy::kChunked: {
+      const size_t chunk = (num_objects + num_servers - 1) / num_servers;
+      for (size_t i = 0; i < num_objects; ++i) {
+        partitions[std::min(i / chunk, num_servers - 1)].push_back(
+            static_cast<ObjectId>(i));
+      }
+      break;
+    }
+    case DeclusterStrategy::kSpatial:
+      return Status::InvalidArgument(
+          "spatial declustering needs the dataset; use DeclusterDataset");
+  }
+  return partitions;
+}
+
+}  // namespace msq

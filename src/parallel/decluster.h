@@ -1,0 +1,52 @@
+// Data declustering strategies for the shared-nothing setting (Sec. 5.3 /
+// the parallel X-tree of Berchtold et al., SIGMOD'97). The partitioning
+// decides how well the per-server work balances; the paper's future-work
+// section explicitly calls out studying declustering strategies, which the
+// ablation bench does.
+
+#ifndef MSQ_PARALLEL_DECLUSTER_H_
+#define MSQ_PARALLEL_DECLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/dataset.h"
+#include "dist/vector.h"
+
+namespace msq {
+
+enum class DeclusterStrategy {
+  /// Object i goes to server i mod s — spreads any locality evenly.
+  kRoundRobin,
+  /// Uniform random assignment.
+  kRandom,
+  /// Contiguous chunks of the id space — the worst case for clustered
+  /// insertion orders (kept as a baseline).
+  kChunked,
+  /// Recursive median splits of the *data space*: each server holds one
+  /// compact spatial region. Balanced in size but the worst case for
+  /// query-load balance — all work of a batch lands on the few servers
+  /// whose region the queries hit (the ablation bench demonstrates it).
+  kSpatial,
+};
+
+std::string DeclusterStrategyName(DeclusterStrategy strategy);
+
+/// Partitions object ids 0..n-1 onto `num_servers` servers. Every object is
+/// assigned to exactly one server; no server is empty (requires
+/// n >= num_servers > 0). kSpatial needs object coordinates and is
+/// rejected here — use DeclusterDataset.
+StatusOr<std::vector<std::vector<ObjectId>>> Decluster(
+    size_t num_objects, size_t num_servers, DeclusterStrategy strategy,
+    uint64_t seed);
+
+/// Like Decluster, with access to the dataset (required by kSpatial;
+/// other strategies ignore it).
+StatusOr<std::vector<std::vector<ObjectId>>> DeclusterDataset(
+    const Dataset& dataset, size_t num_servers, DeclusterStrategy strategy,
+    uint64_t seed);
+
+}  // namespace msq
+
+#endif  // MSQ_PARALLEL_DECLUSTER_H_

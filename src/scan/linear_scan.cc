@@ -1,0 +1,68 @@
+#include "scan/linear_scan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msq {
+
+namespace {
+
+/// Yields every page in address order with a zero lower bound: the scan has
+/// no selectivity, but its accesses are sequential.
+class ScanStream : public CandidateStream {
+ public:
+  explicit ScanStream(size_t num_pages) : num_pages_(num_pages) {}
+
+  bool Next(double query_dist, PageCandidate* out) override {
+    (void)query_dist;  // min_dist is 0, so the page always qualifies.
+    if (next_ >= num_pages_) return false;
+    out->page = static_cast<PageId>(next_++);
+    out->min_dist = 0.0;
+    return true;
+  }
+
+ private:
+  size_t num_pages_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<LinearScanBackend>> LinearScanBackend::Build(
+    std::shared_ptr<const Dataset> dataset, const LinearScanOptions& options) {
+  if (dataset == nullptr || dataset->empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  const size_t per_page = ObjectsPerPage(options.page_size_bytes,
+                                         dataset->dim());
+  const size_t num_pages = (dataset->size() + per_page - 1) / per_page;
+  const size_t buffer_pages = static_cast<size_t>(
+      std::ceil(options.buffer_fraction * static_cast<double>(num_pages)));
+  DataLayout layout =
+      DataLayout::Sequential(dataset->size(), per_page, buffer_pages);
+  MSQ_RETURN_IF_ERROR(layout.CheckInvariants());
+  return std::unique_ptr<LinearScanBackend>(
+      new LinearScanBackend(std::move(dataset), std::move(layout)));
+}
+
+std::unique_ptr<CandidateStream> LinearScanBackend::OpenStream(
+    const Query& query, QueryStats* stats) {
+  (void)query;
+  (void)stats;
+  return std::make_unique<ScanStream>(layout_.num_pages());
+}
+
+double LinearScanBackend::PageMinDist(PageId page, const Query& q,
+                                      QueryStats* stats) {
+  (void)page;
+  (void)q;
+  (void)stats;
+  return 0.0;  // No approximation information: every page may qualify.
+}
+
+const std::vector<ObjectId>& LinearScanBackend::ReadPage(PageId page,
+                                                         QueryStats* stats) {
+  return layout_.Read(page, stats);
+}
+
+}  // namespace msq

@@ -1,0 +1,175 @@
+#include "scan/va_file.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace msq {
+
+VaFileBackend::VaFileBackend(std::shared_ptr<const Dataset> dataset,
+                             std::shared_ptr<const Metric> metric,
+                             const BoxDistanceMetric* box_metric,
+                             VaFileOptions options)
+    : dataset_(std::move(dataset)),
+      metric_(std::move(metric)),
+      box_metric_(box_metric),
+      options_(options) {}
+
+StatusOr<std::unique_ptr<VaFileBackend>> VaFileBackend::Build(
+    std::shared_ptr<const Dataset> dataset,
+    std::shared_ptr<const Metric> metric, const VaFileOptions& options) {
+  if (dataset == nullptr || dataset->empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (options.bits_per_dim < 1 || options.bits_per_dim > 16) {
+    return Status::InvalidArgument("bits_per_dim must be in [1, 16]");
+  }
+  const auto* box = dynamic_cast<const BoxDistanceMetric*>(metric.get());
+  if (box == nullptr) {
+    return Status::NotSupported(
+        "VA-file requires a metric with MINDIST support (Lp family); got " +
+        metric->Name());
+  }
+  auto backend = std::unique_ptr<VaFileBackend>(
+      new VaFileBackend(std::move(dataset), std::move(metric), box, options));
+  backend->BuildApproximations();
+  return backend;
+}
+
+void VaFileBackend::BuildApproximations() {
+  const size_t n = dataset_->size();
+  const size_t dim = dataset_->dim();
+  cells_per_dim_ = static_cast<size_t>(1) << options_.bits_per_dim;
+
+  dataset_->Bounds(&grid_min_, &grid_max_);
+  cell_width_.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const double extent =
+        static_cast<double>(grid_max_[d]) - grid_min_[d];
+    cell_width_[d] = extent > 0.0
+                         ? extent / static_cast<double>(cells_per_dim_)
+                         : 1.0;  // flat dimension: one cell covers all
+  }
+
+  cells_.resize(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec& v = dataset_->object(static_cast<ObjectId>(i));
+    for (size_t d = 0; d < dim; ++d) {
+      const double offset = (static_cast<double>(v[d]) - grid_min_[d]) /
+                            cell_width_[d];
+      long cell = static_cast<long>(std::floor(offset));
+      cell = std::clamp<long>(cell, 0,
+                              static_cast<long>(cells_per_dim_) - 1);
+      cells_[i * dim + d] = static_cast<uint16_t>(cell);
+    }
+  }
+
+  // Data layout: sequential, like the scan.
+  const size_t per_page = ObjectsPerPage(options_.page_size_bytes, dim);
+  const size_t num_pages = (n + per_page - 1) / per_page;
+  const size_t buffer_pages = static_cast<size_t>(
+      std::ceil(options_.buffer_fraction * static_cast<double>(num_pages)));
+  layout_ = DataLayout::Sequential(n, per_page, buffer_pages);
+
+  // Approximation file size: bits_per_dim bits per component.
+  const size_t approx_bytes = (n * dim * options_.bits_per_dim + 7) / 8;
+  approx_pages_ = (approx_bytes + options_.page_size_bytes - 1) /
+                  options_.page_size_bytes;
+
+  // Per-page quantized MBRs for the multiple-query page bound.
+  page_lo_.assign(num_pages, Vec(dim, 0));
+  page_hi_.assign(num_pages, Vec(dim, 0));
+  for (size_t p = 0; p < num_pages; ++p) {
+    Vec lo(dim, std::numeric_limits<Scalar>::max());
+    Vec hi(dim, std::numeric_limits<Scalar>::lowest());
+    for (ObjectId id : layout_.Peek(static_cast<PageId>(p))) {
+      Vec olo, ohi;
+      CellBox(id, &olo, &ohi);
+      for (size_t d = 0; d < dim; ++d) {
+        lo[d] = std::min(lo[d], olo[d]);
+        hi[d] = std::max(hi[d], ohi[d]);
+      }
+    }
+    page_lo_[p] = std::move(lo);
+    page_hi_[p] = std::move(hi);
+  }
+}
+
+void VaFileBackend::CellBox(ObjectId id, Vec* lo, Vec* hi) const {
+  const size_t dim = dataset_->dim();
+  lo->resize(dim);
+  hi->resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const uint16_t cell = cells_[static_cast<size_t>(id) * dim + d];
+    (*lo)[d] = static_cast<Scalar>(grid_min_[d] + cell * cell_width_[d]);
+    (*hi)[d] =
+        static_cast<Scalar>(grid_min_[d] + (cell + 1) * cell_width_[d]);
+  }
+}
+
+namespace {
+
+/// Phase-1 result: data pages ordered by their best object-level lower
+/// bound; Next() consumes them while the bound qualifies.
+class VaFileStream : public CandidateStream {
+ public:
+  VaFileStream(std::vector<PageCandidate> ordered)
+      : ordered_(std::move(ordered)) {}
+
+  bool Next(double query_dist, PageCandidate* out) override {
+    if (next_ >= ordered_.size()) return false;
+    if (ordered_[next_].min_dist > query_dist) {
+      // Ordered ascending: everything behind is farther still.
+      return false;
+    }
+    *out = ordered_[next_++];
+    return true;
+  }
+
+ private:
+  std::vector<PageCandidate> ordered_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateStream> VaFileBackend::OpenStream(const Query& query,
+                                                           QueryStats* stats) {
+  // Phase 1: sequential scan of the approximation file.
+  if (stats != nullptr) {
+    stats->seq_page_reads += approx_pages_;
+  }
+  const size_t dim = dataset_->dim();
+  const size_t num_pages = layout_.num_pages();
+  std::vector<PageCandidate> pages(num_pages);
+  Vec lo(dim), hi(dim);
+  for (size_t p = 0; p < num_pages; ++p) {
+    double best = std::numeric_limits<double>::infinity();
+    for (ObjectId id : layout_.Peek(static_cast<PageId>(p))) {
+      CellBox(id, &lo, &hi);
+      best = std::min(best, box_metric_->MinDistToBox(query.point, lo, hi));
+      if (best == 0.0) break;
+    }
+    pages[p] = {static_cast<PageId>(p), best};
+  }
+  std::sort(pages.begin(), pages.end(),
+            [](const PageCandidate& a, const PageCandidate& b) {
+              if (a.min_dist != b.min_dist) return a.min_dist < b.min_dist;
+              return a.page < b.page;
+            });
+  return std::make_unique<VaFileStream>(std::move(pages));
+}
+
+double VaFileBackend::PageMinDist(PageId page, const Query& q,
+                                  QueryStats* stats) {
+  (void)stats;  // In-memory approximation data; no metered operations.
+  assert(page < page_lo_.size());
+  return box_metric_->MinDistToBox(q.point, page_lo_[page], page_hi_[page]);
+}
+
+const std::vector<ObjectId>& VaFileBackend::ReadPage(PageId page,
+                                                     QueryStats* stats) {
+  return layout_.Read(page, stats);
+}
+
+}  // namespace msq

@@ -1,0 +1,31 @@
+#include "storage/buffer_pool.h"
+
+namespace msq {
+
+BufferPool::BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+bool BufferPool::Access(PageId page, QueryStats* stats) {
+  if (capacity_ == 0) return false;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (stats != nullptr) ++stats->buffer_hits;
+    return true;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+bool BufferPool::Contains(PageId page) const { return map_.count(page) > 0; }
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace msq

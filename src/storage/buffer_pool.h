@@ -1,0 +1,49 @@
+// LRU buffer pool over data pages.
+//
+// Sec. 6 of the paper runs the X-tree with a buffer of 10% of the index
+// size; MetricDatabase derives the pool capacity the same way. A buffered
+// page access costs nothing on disk (charged as `buffer_hits`).
+
+#ifndef MSQ_STORAGE_BUFFER_POOL_H_
+#define MSQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "storage/page.h"
+
+namespace msq {
+
+/// Fixed-capacity LRU cache of page ids.
+class BufferPool {
+ public:
+  /// `capacity_pages` == 0 disables buffering entirely.
+  explicit BufferPool(size_t capacity_pages);
+
+  /// Records an access. Returns true on a hit (charging `buffer_hits` to
+  /// `stats`); on a miss the page is admitted, evicting the least recently
+  /// used page if full, and false is returned — the caller then charges the
+  /// disk model.
+  bool Access(PageId page, QueryStats* stats);
+
+  /// True if the page is currently cached (no LRU update, no accounting).
+  bool Contains(PageId page) const;
+
+  /// Drops all cached pages.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  size_t capacity_;
+  // Most recently used at the front.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,108 @@
+#include "storage/data_layout.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace msq {
+
+size_t ObjectsPerPage(size_t page_size_bytes, size_t dim) {
+  const size_t per_object = dim * sizeof(Scalar) + kPerObjectOverheadBytes;
+  const size_t n = page_size_bytes / per_object;
+  return n == 0 ? 1 : n;
+}
+
+DataLayout DataLayout::Sequential(size_t num_objects, size_t objects_per_page,
+                                  size_t buffer_pages) {
+  assert(objects_per_page > 0);
+  DataLayout layout;
+  layout.buffer_ = BufferPool(buffer_pages);
+  layout.page_of_.resize(num_objects);
+  for (size_t start = 0; start < num_objects; start += objects_per_page) {
+    const size_t end =
+        start + objects_per_page < num_objects ? start + objects_per_page
+                                               : num_objects;
+    std::vector<ObjectId> page;
+    page.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      page.push_back(static_cast<ObjectId>(i));
+      layout.page_of_[i] = static_cast<PageId>(layout.pages_.size());
+    }
+    layout.pages_.push_back(std::move(page));
+  }
+  return layout;
+}
+
+DataLayout DataLayout::FromGroups(std::vector<std::vector<ObjectId>> groups,
+                                  size_t buffer_pages) {
+  DataLayout layout;
+  layout.buffer_ = BufferPool(buffer_pages);
+  size_t num_objects = 0;
+  for (const auto& g : groups) {
+    for (ObjectId id : g) {
+      if (id >= num_objects) num_objects = id + 1;
+    }
+  }
+  layout.page_of_.assign(num_objects, kInvalidPageId);
+  for (auto& g : groups) {
+    const PageId pid = static_cast<PageId>(layout.pages_.size());
+    for (ObjectId id : g) layout.page_of_[id] = pid;
+    layout.pages_.push_back(std::move(g));
+  }
+  return layout;
+}
+
+const std::vector<ObjectId>& DataLayout::Read(PageId page, QueryStats* stats) {
+  assert(page < pages_.size());
+  if (!buffer_.Access(page, stats)) {
+    disk_.RecordRead(page, stats);
+  }
+  return pages_[page];
+}
+
+const std::vector<ObjectId>& DataLayout::Peek(PageId page) const {
+  assert(page < pages_.size());
+  return pages_[page];
+}
+
+PageId DataLayout::PageOf(ObjectId object) const {
+  assert(object < page_of_.size());
+  return page_of_[object];
+}
+
+void DataLayout::ResetIoState() {
+  buffer_.Clear();
+  disk_.Reset();
+}
+
+Status DataLayout::CheckInvariants() const {
+  std::vector<uint8_t> seen(page_of_.size(), 0);
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    if (pages_[p].empty()) {
+      return Status::Corruption("empty data page " + std::to_string(p));
+    }
+    for (ObjectId id : pages_[p]) {
+      if (id >= page_of_.size()) {
+        return Status::Corruption("object id out of range");
+      }
+      if (page_of_[id] != static_cast<PageId>(p)) {
+        return Status::Corruption("page_of mismatch for object " +
+                                  std::to_string(id));
+      }
+      if (seen[id]) {
+        return Status::Corruption("object " + std::to_string(id) +
+                                  " stored on more than one page");
+      }
+      seen[id] = 1;
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      return Status::Corruption("object " + std::to_string(i) +
+                                " not stored on any page");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace msq

@@ -1,0 +1,67 @@
+// DataLayout: assignment of objects to data pages.
+//
+// The linear scan stores objects in address order; tree backends store each
+// leaf node as one data page whose membership reflects the tree's
+// clustering. The layout owns the page -> objects mapping and the combined
+// I/O path (buffer pool check, then disk model charge).
+
+#ifndef MSQ_STORAGE_DATA_LAYOUT_H_
+#define MSQ_STORAGE_DATA_LAYOUT_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "dist/vector.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/page.h"
+
+namespace msq {
+
+/// Maps pages to object lists and meters access to them.
+class DataLayout {
+ public:
+  DataLayout() : buffer_(0) {}
+
+  /// Sequential layout: objects 0..n-1 chunked into pages of
+  /// `objects_per_page` in id order (the scan's file organization).
+  static DataLayout Sequential(size_t num_objects, size_t objects_per_page,
+                               size_t buffer_pages);
+
+  /// Clustered layout: one page per group (tree leaves). Groups need not
+  /// have equal sizes; empty groups are rejected by the invariant checker.
+  static DataLayout FromGroups(std::vector<std::vector<ObjectId>> groups,
+                               size_t buffer_pages);
+
+  /// Objects stored on `page`. Charges the access (buffer hit or disk read)
+  /// to `stats`.
+  const std::vector<ObjectId>& Read(PageId page, QueryStats* stats);
+
+  /// Objects stored on `page`, without any accounting (for tests/tools).
+  const std::vector<ObjectId>& Peek(PageId page) const;
+
+  /// Page holding `object`.
+  PageId PageOf(ObjectId object) const;
+
+  size_t num_pages() const { return pages_.size(); }
+  size_t num_objects() const { return page_of_.size(); }
+  BufferPool& buffer() { return buffer_; }
+
+  /// Clears buffer content and disk-head position (between experiments).
+  void ResetIoState();
+
+  /// Verifies that every object appears on exactly one page and no page is
+  /// empty. Used by tests and the tree invariant checkers.
+  Status CheckInvariants() const;
+
+ private:
+  std::vector<std::vector<ObjectId>> pages_;
+  std::vector<PageId> page_of_;
+  BufferPool buffer_;
+  DiskModel disk_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_STORAGE_DATA_LAYOUT_H_

@@ -1,0 +1,20 @@
+#include "storage/disk_model.h"
+
+namespace msq {
+
+void DiskModel::RecordRead(PageId page, QueryStats* stats) {
+  const bool sequential =
+      last_page_ != kInvalidPageId && page == last_page_ + 1;
+  if (stats != nullptr) {
+    if (sequential) {
+      ++stats->seq_page_reads;
+    } else {
+      ++stats->random_page_reads;
+    }
+  }
+  last_page_ = page;
+}
+
+void DiskModel::Reset() { last_page_ = kInvalidPageId; }
+
+}  // namespace msq

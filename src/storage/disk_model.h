@@ -1,0 +1,36 @@
+// DiskModel: classifies page accesses as sequential or random.
+//
+// A read is sequential when it targets the page immediately following the
+// previously read page of the same file (the disk head is already there);
+// anything else pays a seek. The cost model charges these two classes
+// differently (CostModel::seq_page_ms vs random_page_ms), which is what
+// makes the linear scan's sequential advantage (Sec. 2, VA-file discussion)
+// visible in the experiments.
+
+#ifndef MSQ_STORAGE_DISK_MODEL_H_
+#define MSQ_STORAGE_DISK_MODEL_H_
+
+#include "common/stats.h"
+#include "storage/page.h"
+
+namespace msq {
+
+/// Tracks the simulated disk-head position of one page file.
+class DiskModel {
+ public:
+  /// Charges one page read to `stats`, classified sequential/random.
+  void RecordRead(PageId page, QueryStats* stats);
+
+  /// Forgets the head position (e.g. between experiments).
+  void Reset();
+
+  /// Page id of the last read, or kInvalidPageId after Reset().
+  PageId last_page() const { return last_page_; }
+
+ private:
+  PageId last_page_ = kInvalidPageId;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_STORAGE_DISK_MODEL_H_

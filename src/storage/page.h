@@ -1,0 +1,37 @@
+// Page identifiers and storage constants.
+//
+// The storage layer is a *simulated* disk: objects live in memory, and
+// "reading a page" charges the disk model and the buffer pool. The paper's
+// I/O metric is the number of disk accesses (Sec. 1); counting them exactly
+// — split into sequential and random accesses, which the paper's
+// `determine_relevant_data_pages` explicitly orders to minimize seeks —
+// reproduces its I/O cost curves deterministically.
+
+#ifndef MSQ_STORAGE_PAGE_H_
+#define MSQ_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msq {
+
+/// Identifier of a data page within one backend's page file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Default page size: 32 KB, the X-tree block size used in Sec. 6.
+inline constexpr size_t kDefaultPageSizeBytes = 32 * 1024;
+
+/// Per-object on-page overhead (object id + length/label bookkeeping)
+/// assumed when deriving page capacity from the page size.
+inline constexpr size_t kPerObjectOverheadBytes = 8;
+
+/// Number of objects that fit on one data page for vectors of the given
+/// dimensionality (4 bytes per component). Always at least 1.
+size_t ObjectsPerPage(size_t page_size_bytes, size_t dim);
+
+}  // namespace msq
+
+#endif  // MSQ_STORAGE_PAGE_H_

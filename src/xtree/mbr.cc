@@ -1,0 +1,124 @@
+#include "xtree/mbr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace msq {
+
+Mbr Mbr::Empty(size_t dim) {
+  Mbr m;
+  m.lo_.assign(dim, std::numeric_limits<Scalar>::max());
+  m.hi_.assign(dim, std::numeric_limits<Scalar>::lowest());
+  return m;
+}
+
+Mbr Mbr::ForPoint(const Vec& p) {
+  Mbr m;
+  m.lo_ = p;
+  m.hi_ = p;
+  return m;
+}
+
+Mbr Mbr::FromBounds(Vec lo, Vec hi) {
+  assert(lo.size() == hi.size());
+  Mbr m;
+  m.lo_ = std::move(lo);
+  m.hi_ = std::move(hi);
+  return m;
+}
+
+bool Mbr::IsEmpty() const {
+  return lo_.empty() || lo_[0] > hi_[0];
+}
+
+void Mbr::ExtendPoint(const Vec& p) {
+  assert(p.size() == lo_.size());
+  for (size_t d = 0; d < p.size(); ++d) {
+    lo_[d] = std::min(lo_[d], p[d]);
+    hi_[d] = std::max(hi_[d], p[d]);
+  }
+}
+
+void Mbr::ExtendMbr(const Mbr& other) {
+  assert(other.dim() == dim());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+}
+
+bool Mbr::ContainsPoint(const Vec& p) const {
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Mbr::ContainsMbr(const Mbr& other) const {
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    if (other.hi_[d] < lo_[d] || other.lo_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+double Mbr::Area() const {
+  double area = 1.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    area *= static_cast<double>(hi_[d]) - lo_[d];
+  }
+  return area;
+}
+
+double Mbr::Margin() const {
+  double margin = 0.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    margin += static_cast<double>(hi_[d]) - lo_[d];
+  }
+  return margin;
+}
+
+double Mbr::OverlapArea(const Mbr& other) const {
+  double area = 1.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    const double lo = std::max(lo_[d], other.lo_[d]);
+    const double hi = std::min(hi_[d], other.hi_[d]);
+    if (hi <= lo) return 0.0;
+    area *= hi - lo;
+  }
+  return area;
+}
+
+double Mbr::Enlargement(const Mbr& other) const {
+  double enlarged = 1.0;
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    const double lo = std::min(lo_[d], other.lo_[d]);
+    const double hi = std::max(hi_[d], other.hi_[d]);
+    enlarged *= hi - lo;
+  }
+  return enlarged - Area();
+}
+
+Vec Mbr::Center() const {
+  Vec c(lo_.size());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    c[d] = static_cast<Scalar>((static_cast<double>(lo_[d]) + hi_[d]) / 2.0);
+  }
+  return c;
+}
+
+std::string Mbr::ToString() const {
+  std::ostringstream os;
+  os << "[" << VecToString(lo_) << " .. " << VecToString(hi_) << "]";
+  return os.str();
+}
+
+}  // namespace msq

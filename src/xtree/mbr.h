@@ -1,0 +1,70 @@
+// Minimum bounding rectangles for the X-tree directory.
+
+#ifndef MSQ_XTREE_MBR_H_
+#define MSQ_XTREE_MBR_H_
+
+#include <string>
+
+#include "dist/box_metric.h"
+#include "dist/vector.h"
+
+namespace msq {
+
+/// Axis-aligned hyper-rectangle [lo, hi] (component-wise, inclusive).
+class Mbr {
+ public:
+  Mbr() = default;
+
+  /// The empty rectangle of the given dimensionality: extending it with
+  /// anything yields that thing's bounds.
+  static Mbr Empty(size_t dim);
+
+  /// Degenerate rectangle covering one point.
+  static Mbr ForPoint(const Vec& p);
+
+  /// Rectangle with explicit bounds (used by index deserialization).
+  static Mbr FromBounds(Vec lo, Vec hi);
+
+  bool IsEmpty() const;
+  size_t dim() const { return lo_.size(); }
+  const Vec& lo() const { return lo_; }
+  const Vec& hi() const { return hi_; }
+
+  void ExtendPoint(const Vec& p);
+  void ExtendMbr(const Mbr& other);
+
+  bool ContainsPoint(const Vec& p) const;
+  bool ContainsMbr(const Mbr& other) const;
+  bool Intersects(const Mbr& other) const;
+
+  /// Product of extents. Underflows toward 0 in very high dimensions;
+  /// callers breaking ties (R* split) fall back to Margin() then.
+  double Area() const;
+
+  /// Sum of extents (the L1 "margin" of the R*-tree split heuristic).
+  double Margin() const;
+
+  /// Area of the intersection (0 when disjoint).
+  double OverlapArea(const Mbr& other) const;
+
+  /// Area increase when extended to cover `other`.
+  double Enlargement(const Mbr& other) const;
+
+  /// Center point.
+  Vec Center() const;
+
+  /// Lower bound on the metric distance from q to any point inside,
+  /// delegated to the metric's box-distance capability.
+  double MinDist(const Vec& q, const BoxDistanceMetric& metric) const {
+    return metric.MinDistToBox(q, lo_, hi_);
+  }
+
+  std::string ToString() const;
+
+ private:
+  Vec lo_, hi_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_XTREE_MBR_H_

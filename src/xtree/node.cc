@@ -1,0 +1,3 @@
+#include "xtree/node.h"
+
+// Data-only definitions; this translation unit anchors the header.

@@ -1,0 +1,53 @@
+// X-tree node representation.
+//
+// Nodes live in an in-memory arena (std::vector) addressed by index; leaf
+// nodes are mapped 1:1 to data pages of the simulated storage when the
+// tree is finalized for querying. Supernodes (Berchtold/Keim/Kriegel,
+// VLDB'96) are directory nodes spanning `multiplicity` consecutive blocks —
+// created when neither the topological nor the overlap-minimal split can
+// partition a directory node without high overlap.
+
+#ifndef MSQ_XTREE_NODE_H_
+#define MSQ_XTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/vector.h"
+#include "storage/page.h"
+#include "xtree/mbr.h"
+
+namespace msq {
+
+/// Index of a node within the tree's arena.
+using XNodeIndex = uint32_t;
+inline constexpr XNodeIndex kInvalidNode = 0xffffffffu;
+
+/// Directory entry: the bounding rectangle of a child node.
+struct XDirEntry {
+  Mbr mbr;
+  XNodeIndex child = kInvalidNode;
+};
+
+/// One X-tree node (leaf or directory; directory may be a supernode).
+struct XNode {
+  bool is_leaf = true;
+  /// Width in disk blocks: 1 for normal nodes, >1 for supernodes.
+  uint32_t multiplicity = 1;
+  XNodeIndex parent = kInvalidNode;
+  Mbr mbr;
+  /// Directory children (empty for leaves).
+  std::vector<XDirEntry> entries;
+  /// Stored objects (empty for directory nodes).
+  std::vector<ObjectId> objects;
+  /// Bitmask of the dimensions along which this node's region has been
+  /// split (the X-tree split history, dims 0..63). Drives the
+  /// overlap-minimal split.
+  uint64_t split_dims = 0;
+  /// Data page of a finalized leaf.
+  PageId page = kInvalidPageId;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_XTREE_NODE_H_

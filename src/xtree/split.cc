@@ -1,0 +1,197 @@
+#include "xtree/split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace msq {
+
+namespace {
+
+// Covering MBR of items[order[from..to)].
+Mbr CoverRange(const std::vector<SplitItem>& items,
+               const std::vector<uint32_t>& order, size_t from, size_t to) {
+  Mbr m = Mbr::Empty(items[0].mbr.dim());
+  for (size_t i = from; i < to; ++i) m.ExtendMbr(items[order[i]].mbr);
+  return m;
+}
+
+struct AxisSort {
+  std::vector<uint32_t> by_lo;
+  std::vector<uint32_t> by_hi;
+};
+
+AxisSort SortAxis(const std::vector<SplitItem>& items, size_t axis) {
+  AxisSort s;
+  s.by_lo.resize(items.size());
+  std::iota(s.by_lo.begin(), s.by_lo.end(), 0u);
+  s.by_hi = s.by_lo;
+  std::sort(s.by_lo.begin(), s.by_lo.end(), [&](uint32_t a, uint32_t b) {
+    if (items[a].mbr.lo()[axis] != items[b].mbr.lo()[axis]) {
+      return items[a].mbr.lo()[axis] < items[b].mbr.lo()[axis];
+    }
+    return items[a].mbr.hi()[axis] < items[b].mbr.hi()[axis];
+  });
+  std::sort(s.by_hi.begin(), s.by_hi.end(), [&](uint32_t a, uint32_t b) {
+    if (items[a].mbr.hi()[axis] != items[b].mbr.hi()[axis]) {
+      return items[a].mbr.hi()[axis] < items[b].mbr.hi()[axis];
+    }
+    return items[a].mbr.lo()[axis] < items[b].mbr.lo()[axis];
+  });
+  return s;
+}
+
+// Sum of the two halves' margins over all legal distributions of one
+// sorted order (the R* axis-goodness measure).
+double MarginSum(const std::vector<SplitItem>& items,
+                 const std::vector<uint32_t>& order, size_t min_fill) {
+  const size_t n = order.size();
+  // Prefix/suffix covers to make this O(n * dim) instead of O(n^2 * dim).
+  std::vector<Mbr> prefix(n), suffix(n);
+  prefix[0] = items[order[0]].mbr;
+  for (size_t i = 1; i < n; ++i) {
+    prefix[i] = prefix[i - 1];
+    prefix[i].ExtendMbr(items[order[i]].mbr);
+  }
+  suffix[n - 1] = items[order[n - 1]].mbr;
+  for (size_t i = n - 1; i-- > 0;) {
+    suffix[i] = suffix[i + 1];
+    suffix[i].ExtendMbr(items[order[i]].mbr);
+  }
+  double sum = 0.0;
+  for (size_t k = min_fill; k + min_fill <= n; ++k) {
+    sum += prefix[k - 1].Margin() + suffix[k].Margin();
+  }
+  return sum;
+}
+
+}  // namespace
+
+double GroupOverlapRatio(const Mbr& left, const Mbr& right) {
+  const double inter = left.OverlapArea(right);
+  if (inter <= 0.0) return 0.0;
+  const double uni = left.Area() + right.Area() - inter;
+  if (uni <= 0.0) {
+    // Degenerate (zero-volume) rectangles that still intersect: treat as
+    // fully overlapping — splitting them brings no selectivity.
+    return 1.0;
+  }
+  return inter / uni;
+}
+
+SplitOutcome TopologicalSplit(const std::vector<SplitItem>& items,
+                              size_t min_fill_count) {
+  assert(!items.empty());
+  const size_t n = items.size();
+  const size_t dim = items[0].mbr.dim();
+  size_t min_fill = std::max<size_t>(1, min_fill_count);
+  assert(n >= 2 * min_fill);
+
+  // 1. Choose the axis minimizing the margin sum over both sort orders.
+  size_t best_axis = 0;
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (size_t axis = 0; axis < dim; ++axis) {
+    const AxisSort s = SortAxis(items, axis);
+    const double margin = MarginSum(items, s.by_lo, min_fill) +
+                          MarginSum(items, s.by_hi, min_fill);
+    if (margin < best_margin) {
+      best_margin = margin;
+      best_axis = axis;
+    }
+  }
+
+  // 2. On that axis, choose the distribution minimizing overlap area
+  //    (ties: total area) across both sort orders.
+  const AxisSort s = SortAxis(items, best_axis);
+  const std::vector<uint32_t>* best_order = nullptr;
+  size_t best_k = min_fill;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const auto* order : {&s.by_lo, &s.by_hi}) {
+    std::vector<Mbr> prefix(n), suffix(n);
+    prefix[0] = items[(*order)[0]].mbr;
+    for (size_t i = 1; i < n; ++i) {
+      prefix[i] = prefix[i - 1];
+      prefix[i].ExtendMbr(items[(*order)[i]].mbr);
+    }
+    suffix[n - 1] = items[(*order)[n - 1]].mbr;
+    for (size_t i = n - 1; i-- > 0;) {
+      suffix[i] = suffix[i + 1];
+      suffix[i].ExtendMbr(items[(*order)[i]].mbr);
+    }
+    for (size_t k = min_fill; k + min_fill <= n; ++k) {
+      const double overlap = prefix[k - 1].OverlapArea(suffix[k]);
+      const double area = prefix[k - 1].Area() + suffix[k].Area();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_order = order;
+        best_k = k;
+      }
+    }
+  }
+  assert(best_order != nullptr);
+
+  SplitOutcome out;
+  out.axis = best_axis;
+  out.left.assign(best_order->begin(),
+                  best_order->begin() + static_cast<ptrdiff_t>(best_k));
+  out.right.assign(best_order->begin() + static_cast<ptrdiff_t>(best_k),
+                   best_order->end());
+  const Mbr left = CoverRange(items, *best_order, 0, best_k);
+  const Mbr right = CoverRange(items, *best_order, best_k, n);
+  out.overlap_ratio = GroupOverlapRatio(left, right);
+  return out;
+}
+
+std::optional<SplitOutcome> OverlapMinimalSplit(
+    const std::vector<SplitItem>& items, uint64_t history_mask,
+    size_t min_fill_count) {
+  if (items.empty() || history_mask == 0) return std::nullopt;
+  const size_t n = items.size();
+  const size_t dim = items[0].mbr.dim();
+  const size_t min_fill = std::max<size_t>(1, min_fill_count);
+  if (n < 2 * min_fill) return std::nullopt;
+
+  std::optional<SplitOutcome> best;
+  size_t best_balance = n;  // |k - n/2|, smaller is better
+  const size_t usable_dims = std::min<size_t>(dim, 64);
+  for (size_t axis = 0; axis < usable_dims; ++axis) {
+    if ((history_mask & (1ull << axis)) == 0) continue;
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return items[a].mbr.lo()[axis] < items[b].mbr.lo()[axis];
+    });
+    // prefix_hi[i] = max hi over order[0..i].
+    std::vector<Scalar> prefix_hi(n);
+    prefix_hi[0] = items[order[0]].mbr.hi()[axis];
+    for (size_t i = 1; i < n; ++i) {
+      prefix_hi[i] =
+          std::max(prefix_hi[i - 1], items[order[i]].mbr.hi()[axis]);
+    }
+    for (size_t k = min_fill; k + min_fill <= n; ++k) {
+      // Overlap-free separation: every left item ends before every right
+      // item begins along this axis.
+      if (prefix_hi[k - 1] > items[order[k]].mbr.lo()[axis]) continue;
+      const size_t balance =
+          k > n / 2 ? k - n / 2 : n / 2 - k;
+      if (balance < best_balance) {
+        best_balance = balance;
+        SplitOutcome out;
+        out.axis = axis;
+        out.left.assign(order.begin(),
+                        order.begin() + static_cast<ptrdiff_t>(k));
+        out.right.assign(order.begin() + static_cast<ptrdiff_t>(k),
+                         order.end());
+        out.overlap_ratio = 0.0;
+        best = std::move(out);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace msq

@@ -1,0 +1,56 @@
+// Node split algorithms of the X-tree:
+//  * the R*-tree topological split (Beckmann et al., SIGMOD'90) — choose
+//    the split axis by minimum margin sum, the distribution by minimum
+//    overlap (ties: minimum area);
+//  * the overlap-minimal split along a dimension from the node's split
+//    history — succeeds only when a balanced, overlap-free separation
+//    exists; otherwise the caller creates a supernode.
+
+#ifndef MSQ_XTREE_SPLIT_H_
+#define MSQ_XTREE_SPLIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "xtree/mbr.h"
+
+namespace msq {
+
+/// An item to distribute: the bounding rectangle of an entry (a point MBR
+/// for leaf objects) plus its position in the source node.
+struct SplitItem {
+  Mbr mbr;
+  uint32_t index = 0;
+};
+
+/// Outcome of a split: item indices of the two halves, the chosen axis,
+/// and the overlap ratio area(L∩R) / area(L∪R) of the two covering MBRs
+/// (the X-tree's supernode criterion input).
+struct SplitOutcome {
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+  size_t axis = 0;
+  double overlap_ratio = 0.0;
+};
+
+/// Overlap ratio of two MBR groups (union-normalized; 0 when the covering
+/// rectangles are disjoint, approaching 1 when nearly identical).
+double GroupOverlapRatio(const Mbr& left, const Mbr& right);
+
+/// R*-tree topological split. `min_fill_count` is the minimum number of
+/// items per half (>= 1). Requires items.size() >= 2 * min_fill_count.
+SplitOutcome TopologicalSplit(const std::vector<SplitItem>& items,
+                              size_t min_fill_count);
+
+/// X-tree overlap-minimal split: tries each dimension set in
+/// `history_mask` (bit d = dimension d) for a separation with zero MBR
+/// overlap along that dimension and at least `min_fill_count` items per
+/// half. Returns nullopt when no such balanced separation exists.
+std::optional<SplitOutcome> OverlapMinimalSplit(
+    const std::vector<SplitItem>& items, uint64_t history_mask,
+    size_t min_fill_count);
+
+}  // namespace msq
+
+#endif  // MSQ_XTREE_SPLIT_H_

@@ -1,0 +1,170 @@
+// Tests for the query model (Definitions 1-3) and the AnswerList
+// accumulator of Figure 1.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/answer_list.h"
+#include "core/query.h"
+
+namespace msq {
+namespace {
+
+TEST(QueryTypeTest, RangeSpecialization) {
+  const QueryType t = QueryType::Range(0.5);
+  EXPECT_EQ(t.kind, QueryKind::kRange);
+  EXPECT_DOUBLE_EQ(t.range, 0.5);
+  EXPECT_EQ(t.cardinality, kUnboundedCardinality);
+  EXPECT_FALSE(t.Adaptive());
+}
+
+TEST(QueryTypeTest, KnnSpecialization) {
+  const QueryType t = QueryType::Knn(7);
+  EXPECT_EQ(t.kind, QueryKind::kNearestNeighbor);
+  EXPECT_TRUE(std::isinf(t.range));
+  EXPECT_EQ(t.cardinality, 7u);
+  EXPECT_TRUE(t.Adaptive());
+}
+
+TEST(QueryTypeTest, BoundedKnnSpecialization) {
+  const QueryType t = QueryType::BoundedKnn(3, 0.2);
+  EXPECT_EQ(t.kind, QueryKind::kBoundedNearestNeighbor);
+  EXPECT_DOUBLE_EQ(t.range, 0.2);
+  EXPECT_EQ(t.cardinality, 3u);
+  EXPECT_TRUE(t.Adaptive());
+}
+
+TEST(QueryTypeTest, ToStringNamesTheKind) {
+  EXPECT_NE(QueryType::Range(1).ToString().find("range"), std::string::npos);
+  EXPECT_NE(QueryType::Knn(5).ToString().find("knn"), std::string::npos);
+  EXPECT_NE(QueryType::BoundedKnn(5, 1).ToString().find("bounded"),
+            std::string::npos);
+}
+
+TEST(NeighborTest, OrderIsDistanceThenId) {
+  const Neighbor a{1, 0.5}, b{2, 0.5}, c{0, 0.7};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_FALSE(c < a);
+}
+
+// ---------------------------------------------------------------------
+// Range semantics
+// ---------------------------------------------------------------------
+
+TEST(AnswerListTest, RangeAcceptsWithinEpsOnly) {
+  AnswerList list(QueryType::Range(1.0));
+  EXPECT_TRUE(list.Offer(1, 0.5));
+  EXPECT_TRUE(list.Offer(2, 1.0));  // boundary is inclusive (Definition 2)
+  EXPECT_FALSE(list.Offer(3, 1.0001));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(AnswerListTest, RangeQueryDistNeverAdapts) {
+  AnswerList list(QueryType::Range(1.0));
+  for (ObjectId id = 0; id < 100; ++id) list.Offer(id, 0.001 * id);
+  EXPECT_DOUBLE_EQ(list.QueryDist(), 1.0);
+}
+
+TEST(AnswerListTest, RangeKeepsAnswersSorted) {
+  AnswerList list(QueryType::Range(10.0));
+  list.Offer(1, 3.0);
+  list.Offer(2, 1.0);
+  list.Offer(3, 2.0);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.answers()[0].id, 2u);
+  EXPECT_EQ(list.answers()[1].id, 3u);
+  EXPECT_EQ(list.answers()[2].id, 1u);
+}
+
+// ---------------------------------------------------------------------
+// kNN semantics
+// ---------------------------------------------------------------------
+
+TEST(AnswerListTest, KnnQueryDistStartsInfinite) {
+  AnswerList list(QueryType::Knn(3));
+  EXPECT_TRUE(std::isinf(list.QueryDist()));
+  list.Offer(1, 5.0);
+  list.Offer(2, 3.0);
+  EXPECT_TRUE(std::isinf(list.QueryDist()));  // not yet k answers
+  list.Offer(3, 4.0);
+  EXPECT_DOUBLE_EQ(list.QueryDist(), 5.0);  // k-th distance
+}
+
+TEST(AnswerListTest, KnnEvictsWorstOnOverflow) {
+  AnswerList list(QueryType::Knn(2));
+  list.Offer(1, 5.0);
+  list.Offer(2, 3.0);
+  EXPECT_TRUE(list.Offer(3, 1.0));  // evicts id 1
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.answers()[0].id, 3u);
+  EXPECT_EQ(list.answers()[1].id, 2u);
+  EXPECT_DOUBLE_EQ(list.QueryDist(), 3.0);
+}
+
+TEST(AnswerListTest, KnnRejectsWorseThanWorstWhenFull) {
+  AnswerList list(QueryType::Knn(2));
+  list.Offer(1, 1.0);
+  list.Offer(2, 2.0);
+  EXPECT_FALSE(list.Offer(3, 3.0));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(AnswerListTest, KnnDistanceTieBrokenBySmallerId) {
+  AnswerList list(QueryType::Knn(2));
+  list.Offer(5, 1.0);
+  list.Offer(9, 2.0);
+  // Same distance as the worst answer but smaller id: wins the tie.
+  EXPECT_TRUE(list.Offer(3, 2.0));
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.answers()[1].id, 3u);
+  // Larger id at the same distance loses.
+  EXPECT_FALSE(list.Offer(7, 2.0));
+}
+
+TEST(AnswerListTest, KnnQueryDistShrinksMonotonically) {
+  AnswerList list(QueryType::Knn(3));
+  double prev = std::numeric_limits<double>::infinity();
+  for (ObjectId id = 0; id < 50; ++id) {
+    list.Offer(id, 50.0 - id);
+    EXPECT_LE(list.QueryDist(), prev);
+    prev = list.QueryDist();
+  }
+}
+
+TEST(AnswerListTest, QualifiesTracksOfferForKnn) {
+  AnswerList list(QueryType::Knn(2));
+  list.Offer(1, 1.0);
+  list.Offer(2, 2.0);
+  EXPECT_TRUE(list.Qualifies(1.5));
+  EXPECT_TRUE(list.Qualifies(2.0));  // ties can still win by id
+  EXPECT_FALSE(list.Qualifies(2.5));
+}
+
+// ---------------------------------------------------------------------
+// Bounded kNN semantics
+// ---------------------------------------------------------------------
+
+TEST(AnswerListTest, BoundedKnnAppliesBothBounds) {
+  AnswerList list(QueryType::BoundedKnn(2, 1.0));
+  EXPECT_FALSE(list.Offer(1, 1.5));  // beyond eps even though list empty
+  EXPECT_TRUE(list.Offer(2, 0.9));
+  EXPECT_TRUE(list.Offer(3, 0.5));
+  EXPECT_TRUE(list.Offer(4, 0.1));  // evicts id 2
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.answers()[0].id, 4u);
+  EXPECT_EQ(list.answers()[1].id, 3u);
+}
+
+TEST(AnswerListTest, BoundedKnnQueryDistIsMinOfEpsAndKth) {
+  AnswerList list(QueryType::BoundedKnn(2, 1.0));
+  EXPECT_DOUBLE_EQ(list.QueryDist(), 1.0);  // eps while unsaturated
+  list.Offer(1, 0.3);
+  list.Offer(2, 0.6);
+  EXPECT_DOUBLE_EQ(list.QueryDist(), 0.6);  // kth distance once full
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,225 @@
+// Tests of the MetricDatabase facade: construction paths, query factory
+// methods, statistics surface, cost model wiring, and cross-backend /
+// cross-page-size equivalence sweeps.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "dist/edit_distance.h"
+#include "tests/test_util.h"
+
+namespace msq {
+namespace {
+
+using testing::BruteForceQuery;
+using testing::SameAnswers;
+
+TEST(DatabaseTest, OpenRejectsEmptyDataset) {
+  auto db = MetricDatabase::Open(Dataset(),
+                                 std::make_shared<EuclideanMetric>(), {});
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(DatabaseTest, OpenRejectsNullMetric) {
+  auto db = MetricDatabase::Open(MakeUniformDataset(10, 2, 1), nullptr, {});
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(DatabaseTest, OpenRejectsXTreeWithNonBoxMetric) {
+  DatabaseOptions options;
+  options.backend = BackendKind::kXTree;
+  auto db = MetricDatabase::Open(MakeUniformDataset(100, 4, 2),
+                                 std::make_shared<AngularMetric>(), options);
+  EXPECT_TRUE(db.status().IsNotSupported());
+}
+
+TEST(DatabaseTest, MTreeAcceptsAnyMetric) {
+  DatabaseOptions options;
+  options.backend = BackendKind::kMTree;
+  auto db = MetricDatabase::Open(MakeSessionDataset(200, 4, 30, 12, 3),
+                                 std::make_shared<EditDistanceMetric>(),
+                                 options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto got = (*db)->SimilarityQuery((*db)->MakeObjectKnnQuery(5, 3));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0].id, 5u);
+}
+
+TEST(DatabaseTest, BackendKindNamesAreStable) {
+  EXPECT_EQ(BackendKindName(BackendKind::kLinearScan), "linear_scan");
+  EXPECT_EQ(BackendKindName(BackendKind::kXTree), "xtree");
+  EXPECT_EQ(BackendKindName(BackendKind::kMTree), "mtree");
+  EXPECT_EQ(BackendKindName(BackendKind::kVaFile), "va_file");
+}
+
+TEST(DatabaseTest, FreshQueryIdsNeverCollideWithObjectIds) {
+  auto db = MetricDatabase::Open(MakeUniformDataset(100, 3, 5),
+                                 std::make_shared<EuclideanMetric>(), {});
+  ASSERT_TRUE(db.ok());
+  const Query a = (*db)->MakeKnnQuery(Vec{0, 0, 0}, 3);
+  const Query b = (*db)->MakeRangeQuery(Vec{0, 0, 0}, 0.5);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_GE(a.id, static_cast<QueryId>(1) << 32);
+  const Query obj = (*db)->MakeObjectKnnQuery(7, 3);
+  EXPECT_EQ(obj.id, 7u);
+  EXPECT_EQ(obj.point, (*db)->dataset().object(7));
+}
+
+TEST(DatabaseTest, QueryFactoriesSetTypes) {
+  auto db = MetricDatabase::Open(MakeUniformDataset(50, 2, 7),
+                                 std::make_shared<EuclideanMetric>(), {});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->MakeKnnQuery(Vec{0, 0}, 5).type.kind,
+            QueryKind::kNearestNeighbor);
+  EXPECT_EQ((*db)->MakeRangeQuery(Vec{0, 0}, 0.1).type.kind,
+            QueryKind::kRange);
+  const Query b = (*db)->MakeBoundedKnnQuery(Vec{0, 0}, 5, 0.1);
+  EXPECT_EQ(b.type.kind, QueryKind::kBoundedNearestNeighbor);
+  EXPECT_EQ(b.type.cardinality, 5u);
+  EXPECT_DOUBLE_EQ(b.type.range, 0.1);
+}
+
+TEST(DatabaseTest, StatsAccumulateAcrossQueriesAndReset) {
+  auto db = MetricDatabase::Open(MakeUniformDataset(500, 4, 9),
+                                 std::make_shared<EuclideanMetric>(), {});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->SimilarityQuery((*db)->MakeObjectKnnQuery(1, 3)).ok());
+  const uint64_t after_one = (*db)->stats().dist_computations;
+  ASSERT_TRUE((*db)->SimilarityQuery((*db)->MakeObjectKnnQuery(2, 3)).ok());
+  EXPECT_GT((*db)->stats().dist_computations, after_one);
+  (*db)->ResetStats();
+  EXPECT_EQ((*db)->stats().dist_computations, 0u);
+}
+
+TEST(DatabaseTest, ModeledCostsFollowTheCostModel) {
+  DatabaseOptions options;
+  options.cost_model.random_page_ms = 100.0;
+  options.cost_model.seq_page_ms = 1.0;
+  auto db = MetricDatabase::Open(MakeUniformDataset(2000, 8, 11),
+                                 std::make_shared<EuclideanMetric>(),
+                                 options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->SimilarityQuery((*db)->MakeObjectKnnQuery(0, 5)).ok());
+  const QueryStats& s = (*db)->stats();
+  EXPECT_DOUBLE_EQ((*db)->ModeledIoMillis(),
+                   100.0 * s.random_page_reads + 1.0 * s.seq_page_reads);
+  EXPECT_DOUBLE_EQ(
+      (*db)->ModeledTotalMillis(),
+      (*db)->ModeledIoMillis() + (*db)->ModeledCpuMillis());
+}
+
+TEST(DatabaseTest, BoundedKnnThroughFacadeMatchesBruteForce) {
+  Dataset dataset = MakeGaussianClustersDataset(800, 4, 5, 0.05, 13);
+  EuclideanMetric metric;
+  for (BackendKind backend :
+       {BackendKind::kLinearScan, BackendKind::kXTree, BackendKind::kMTree,
+        BackendKind::kVaFile}) {
+    DatabaseOptions options;
+    options.backend = backend;
+    options.page_size_bytes = 1024;
+    auto db = MetricDatabase::Open(dataset,
+                                   std::make_shared<EuclideanMetric>(),
+                                   options);
+    ASSERT_TRUE(db.ok()) << BackendKindName(backend);
+    const Query q = (*db)->MakeBoundedKnnQuery(dataset.object(3), 7, 0.15);
+    auto got = (*db)->SimilarityQuery(q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(SameAnswers(*got, BruteForceQuery(dataset, metric, q)))
+        << BackendKindName(backend);
+  }
+}
+
+// Cross-page-size equivalence: results must not depend on the physical
+// page size (a pure performance knob).
+class PageSizeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PageSizeSweepTest, MultiQueryResultsIndependentOfPageSize) {
+  Dataset dataset = MakeGaussianClustersDataset(700, 5, 5, 0.05, 15);
+  EuclideanMetric metric;
+  DatabaseOptions options;
+  options.backend = BackendKind::kXTree;
+  options.page_size_bytes = GetParam();
+  auto db = MetricDatabase::Open(dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::vector<Query> batch;
+  for (ObjectId id : {3u, 77u, 200u, 431u, 650u}) {
+    batch.push_back((*db)->MakeObjectKnnQuery(id, 9));
+  }
+  auto all = (*db)->MultipleSimilarityQueryAll(batch);
+  ASSERT_TRUE(all.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*all)[i],
+                            BruteForceQuery(dataset, metric, batch[i])))
+        << "page_size=" << GetParam() << " query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, PageSizeSweepTest,
+                         ::testing::Values(512, 1024, 4096, 32768));
+
+// Witness-cap sweep: the avoidance cap is a performance knob and must
+// never change results.
+class WitnessCapSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WitnessCapSweepTest, ResultsIndependentOfAvoidanceCap) {
+  Dataset dataset = MakeGaussianClustersDataset(900, 5, 6, 0.04, 17);
+  EuclideanMetric metric;
+  DatabaseOptions options;
+  options.backend = BackendKind::kLinearScan;
+  options.page_size_bytes = 2048;
+  options.multi.avoidance_max_witnesses = GetParam();
+  auto db = MetricDatabase::Open(dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 options);
+  ASSERT_TRUE(db.ok());
+  Rng rng(19);
+  std::vector<Query> batch;
+  for (uint64_t id : rng.SampleWithoutReplacement(dataset.size(), 20)) {
+    batch.push_back((*db)->MakeObjectKnnQuery(static_cast<ObjectId>(id), 6));
+  }
+  auto all = (*db)->MultipleSimilarityQueryAll(batch);
+  ASSERT_TRUE(all.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*all)[i],
+                            BruteForceQuery(dataset, metric, batch[i])))
+        << "cap=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, WitnessCapSweepTest,
+                         ::testing::Values(0, 1, 4, 64, 10000));
+
+TEST(DatabaseTest, DynamicXTreeBuildMatchesBulkLoadResults) {
+  Dataset dataset = MakeGaussianClustersDataset(600, 4, 4, 0.05, 21);
+  EuclideanMetric metric;
+  std::vector<AnswerSet> results[2];
+  for (int dynamic = 0; dynamic < 2; ++dynamic) {
+    DatabaseOptions options;
+    options.backend = BackendKind::kXTree;
+    options.page_size_bytes = 1024;
+    options.xtree_dynamic_build = (dynamic == 1);
+    auto db = MetricDatabase::Open(dataset,
+                                   std::make_shared<EuclideanMetric>(),
+                                   options);
+    ASSERT_TRUE(db.ok());
+    for (ObjectId id : {1u, 50u, 300u}) {
+      auto got = (*db)->SimilarityQuery((*db)->MakeObjectKnnQuery(id, 8));
+      ASSERT_TRUE(got.ok());
+      results[dynamic].push_back(std::move(got).value());
+    }
+  }
+  for (size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_TRUE(SameAnswers(results[0][i], results[1][i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace msq

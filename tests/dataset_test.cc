@@ -1,0 +1,283 @@
+// Tests for the dataset container, persistence, and the workload
+// generators (including the two paper-surrogate distributions).
+
+#include <cstdio>
+#include <cmath>
+#include <fstream>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/dataset.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "dist/edit_distance.h"
+
+namespace msq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------
+// Dataset container
+// ---------------------------------------------------------------------
+
+TEST(DatasetTest, AppendFixesDimensionality) {
+  Dataset ds;
+  ASSERT_TRUE(ds.Append({1, 2, 3}).ok());
+  EXPECT_EQ(ds.dim(), 3u);
+  EXPECT_TRUE(ds.Append({1, 2}).status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, LabelsBackfillWhenFirstLabelArrivesLate) {
+  Dataset ds;
+  ASSERT_TRUE(ds.Append({1.0f}).ok());
+  ASSERT_TRUE(ds.Append({2.0f}, 7).ok());
+  EXPECT_TRUE(ds.has_labels());
+  EXPECT_EQ(ds.label(0), kNoLabel);
+  EXPECT_EQ(ds.label(1), 7);
+}
+
+TEST(DatasetTest, SubsetPreservesVectorsAndLabels) {
+  Dataset ds;
+  ASSERT_TRUE(ds.Append({1.0f}, 0).ok());
+  ASSERT_TRUE(ds.Append({2.0f}, 1).ok());
+  ASSERT_TRUE(ds.Append({3.0f}, 2).ok());
+  const Dataset sub = ds.Subset({2, 0});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.object(0)[0], 3.0f);
+  EXPECT_EQ(sub.label(0), 2);
+  EXPECT_EQ(sub.object(1)[0], 1.0f);
+  EXPECT_EQ(sub.label(1), 0);
+}
+
+TEST(DatasetTest, BoundsCoverAllObjects) {
+  Dataset ds = MakeUniformDataset(500, 4, 3);
+  Vec mins, maxs;
+  ds.Bounds(&mins, &maxs);
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    for (size_t d = 0; d < 4; ++d) {
+      EXPECT_GE(ds.object(id)[d], mins[d]);
+      EXPECT_LE(ds.object(id)[d], maxs[d]);
+    }
+  }
+}
+
+TEST(DatasetTest, BinaryRoundTrip) {
+  Dataset ds = MakeGaussianClustersDataset(200, 6, 4, 0.05, 5);
+  const std::string path = TempPath("msq_ds_roundtrip.bin");
+  ASSERT_TRUE(ds.SaveBinary(path).ok());
+  auto loaded = Dataset::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), ds.size());
+  EXPECT_EQ(loaded->dim(), ds.dim());
+  EXPECT_EQ(loaded->objects(), ds.objects());
+  EXPECT_EQ(loaded->labels(), ds.labels());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset ds;
+  ASSERT_TRUE(ds.Append({1.5f, 2.5f}, 3).ok());
+  ASSERT_TRUE(ds.Append({0.25f, -4.0f}, 1).ok());
+  const std::string path = TempPath("msq_ds_roundtrip.csv");
+  ASSERT_TRUE(ds.SaveCsv(path).ok());
+  auto loaded = Dataset::LoadCsv(path, /*has_label=*/true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_FLOAT_EQ(loaded->object(1)[1], -4.0f);
+  EXPECT_EQ(loaded->label(0), 3);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadBinaryRejectsGarbage) {
+  const std::string path = TempPath("msq_ds_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a dataset";
+  }
+  EXPECT_TRUE(Dataset::LoadBinary(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadMissingFileIsIOError) {
+  EXPECT_TRUE(Dataset::LoadBinary("/nonexistent/nowhere.bin")
+                  .status()
+                  .IsIOError());
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+TEST(GeneratorsTest, UniformShapeAndRange) {
+  Dataset ds = MakeUniformDataset(1000, 8, 1);
+  EXPECT_EQ(ds.size(), 1000u);
+  EXPECT_EQ(ds.dim(), 8u);
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    for (Scalar x : ds.object(id)) {
+      EXPECT_GE(x, 0.0f);
+      EXPECT_LT(x, 1.0f);
+    }
+  }
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  Dataset a = MakeUniformDataset(100, 4, 9);
+  Dataset b = MakeUniformDataset(100, 4, 9);
+  EXPECT_EQ(a.objects(), b.objects());
+}
+
+TEST(GeneratorsTest, GaussianClustersAreLabeled) {
+  Dataset ds = MakeGaussianClustersDataset(500, 4, 5, 0.02, 2);
+  ASSERT_TRUE(ds.has_labels());
+  std::set<int32_t> labels(ds.labels().begin(), ds.labels().end());
+  EXPECT_EQ(labels.size(), 5u);
+  // Objects of the same cluster are closer to their own centroid than to
+  // a random other object's position on average — proxy: intra-cluster
+  // spread is small.
+  EuclideanMetric metric;
+  Vec centroid(4, 0.0f);
+  size_t count = 0;
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    if (ds.label(id) != 0) continue;
+    for (size_t d = 0; d < 4; ++d) centroid[d] += ds.object(id)[d];
+    ++count;
+  }
+  ASSERT_GT(count, 0u);
+  for (auto& x : centroid) x /= static_cast<Scalar>(count);
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    if (ds.label(id) != 0) continue;
+    EXPECT_LT(metric.Distance(ds.object(id), centroid), 0.5);
+  }
+}
+
+TEST(GeneratorsTest, TychoLikeHasRequestedShapeAndClasses) {
+  TychoLikeOptions options;
+  options.n = 2000;
+  Dataset ds = MakeTychoLikeDataset(options);
+  EXPECT_EQ(ds.size(), 2000u);
+  EXPECT_EQ(ds.dim(), 20u);
+  ASSERT_TRUE(ds.has_labels());
+  std::set<int32_t> labels(ds.labels().begin(), ds.labels().end());
+  EXPECT_LE(labels.size(), options.num_classes);
+  EXPECT_GE(labels.size(), 2u);
+}
+
+TEST(GeneratorsTest, TychoLikeHasLowIntrinsicDimension) {
+  // The surrogate embeds a 6-d latent space into 20-d: feature variance
+  // must concentrate (some pairs strongly correlated). Cheap proxy: total
+  // variance of the data is far below 20 * per-dim-variance of an
+  // uncorrelated uniform embedding with the same marginal spread.
+  TychoLikeOptions options;
+  options.n = 3000;
+  Dataset ds = MakeTychoLikeDataset(options);
+  // Compute per-dim variance and the variance explained by the first
+  // principal direction approximated by the dominant covariance row sum.
+  const size_t dim = ds.dim();
+  std::vector<double> mean(dim, 0.0);
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    for (size_t d = 0; d < dim; ++d) mean[d] += ds.object(id)[d];
+  }
+  for (auto& m : mean) m /= static_cast<double>(ds.size());
+  // Cross-dimension correlation must exist: find at least one pair with
+  // |corr| > 0.5.
+  double best_corr = 0.0;
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = a + 1; b < dim; ++b) {
+      double cov = 0, va = 0, vb = 0;
+      for (ObjectId id = 0; id < ds.size(); ++id) {
+        const double xa = ds.object(id)[a] - mean[a];
+        const double xb = ds.object(id)[b] - mean[b];
+        cov += xa * xb;
+        va += xa * xa;
+        vb += xb * xb;
+      }
+      if (va > 0 && vb > 0) {
+        best_corr = std::max(best_corr, std::abs(cov / std::sqrt(va * vb)));
+      }
+    }
+  }
+  EXPECT_GT(best_corr, 0.5);
+}
+
+TEST(GeneratorsTest, ImageHistogramsAreNormalizedAndClustered) {
+  ImageHistogramOptions options;
+  options.n = 1000;
+  options.num_clusters = 10;
+  Dataset ds = MakeImageHistogramDataset(options);
+  EXPECT_EQ(ds.dim(), 64u);
+  ASSERT_TRUE(ds.has_labels());
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    double sum = 0.0;
+    for (Scalar x : ds.object(id)) {
+      EXPECT_GE(x, 0.0f);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+  // Clustered: same-label objects are on average much closer than
+  // different-label objects.
+  EuclideanMetric metric;
+  double intra = 0, inter = 0;
+  size_t n_intra = 0, n_inter = 0;
+  for (ObjectId a = 0; a < 200; ++a) {
+    for (ObjectId b = a + 1; b < 200; ++b) {
+      const double d = metric.Distance(ds.object(a), ds.object(b));
+      if (ds.label(a) == ds.label(b)) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0u);
+  ASSERT_GT(n_inter, 0u);
+  EXPECT_LT(intra / n_intra, 0.5 * inter / n_inter);
+}
+
+TEST(GeneratorsTest, SessionDatasetDecodesToBoundedSequences) {
+  Dataset ds = MakeSessionDataset(300, 5, 50, 12, 23);
+  EXPECT_EQ(ds.size(), 300u);
+  ASSERT_TRUE(ds.has_labels());
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    const std::vector<int> seq = DecodeSequence(ds.object(id));
+    EXPECT_LE(seq.size(), 12u);
+    for (int s : seq) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 50);
+    }
+  }
+}
+
+TEST(GeneratorsTest, SessionsOfSameProfileAreCloserInEditDistance) {
+  Dataset ds = MakeSessionDataset(200, 4, 40, 12, 29);
+  EditDistanceMetric metric;
+  double intra = 0, inter = 0;
+  size_t n_intra = 0, n_inter = 0;
+  for (ObjectId a = 0; a < 100; ++a) {
+    for (ObjectId b = a + 1; b < 100; ++b) {
+      const double d = metric.Distance(ds.object(a), ds.object(b));
+      if (ds.label(a) == ds.label(b)) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0u);
+  ASSERT_GT(n_inter, 0u);
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+}  // namespace
+}  // namespace msq

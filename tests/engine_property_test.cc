@@ -1,0 +1,175 @@
+// Randomized property sweeps over the whole engine stack: for random
+// datasets, random backend choices, and random mixes of query types, the
+// multiple-query engine must return exactly the brute-force answers, all
+// buffered partial answers must be sound, and cost counters must respect
+// their invariants. One TEST_P instance per seed.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "tests/test_util.h"
+
+namespace msq {
+namespace {
+
+using testing::BruteForceQuery;
+using testing::SameAnswers;
+
+class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+struct RandomSetup {
+  Dataset dataset;
+  DatabaseOptions options;
+  std::vector<Query> queries;
+};
+
+RandomSetup MakeRandomSetup(uint64_t seed) {
+  Rng rng(seed);
+  RandomSetup setup;
+
+  const size_t dim = 2 + rng.NextIndex(7);            // 2..8
+  const size_t n = 200 + rng.NextIndex(1200);          // 200..1400
+  if (rng.NextDouble() < 0.5) {
+    setup.dataset = MakeUniformDataset(n, dim, rng.NextU64());
+  } else {
+    setup.dataset = MakeGaussianClustersDataset(
+        n, dim, 2 + rng.NextIndex(8), rng.NextDouble(0.01, 0.1),
+        rng.NextU64());
+  }
+
+  const BackendKind kinds[] = {BackendKind::kLinearScan, BackendKind::kXTree,
+                               BackendKind::kMTree, BackendKind::kVaFile};
+  setup.options.backend = kinds[rng.NextIndex(4)];
+  setup.options.page_size_bytes = 512u << rng.NextIndex(4);  // 512..4096
+  setup.options.xtree_dynamic_build = rng.NextDouble() < 0.3;
+  setup.options.multi.enable_io_sharing = rng.NextDouble() < 0.9;
+  setup.options.multi.enable_triangle_avoidance = rng.NextDouble() < 0.9;
+  setup.options.multi.avoidance_max_witnesses = 1 + rng.NextIndex(16);
+
+  const size_t m = 2 + rng.NextIndex(20);
+  const auto ids = rng.SampleWithoutReplacement(n, m);
+  for (uint64_t id : ids) {
+    const Vec& point = setup.dataset.object(static_cast<ObjectId>(id));
+    Query q;
+    q.id = id;
+    q.point = point;
+    switch (rng.NextIndex(3)) {
+      case 0:
+        q.type = QueryType::Knn(1 + rng.NextIndex(15));
+        break;
+      case 1:
+        q.type = QueryType::Range(rng.NextDouble(0.01, 0.5));
+        break;
+      default:
+        q.type = QueryType::BoundedKnn(1 + rng.NextIndex(15),
+                                       rng.NextDouble(0.05, 0.5));
+        break;
+    }
+    setup.queries.push_back(std::move(q));
+  }
+  return setup;
+}
+
+TEST_P(EnginePropertyTest, MultiQueryMatchesBruteForceOnRandomConfig) {
+  RandomSetup setup = MakeRandomSetup(GetParam());
+  EuclideanMetric metric;
+  auto db = MetricDatabase::Open(setup.dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 setup.options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto all = (*db)->MultipleSimilarityQueryAll(setup.queries);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  for (size_t i = 0; i < setup.queries.size(); ++i) {
+    const AnswerSet expected =
+        BruteForceQuery(setup.dataset, metric, setup.queries[i]);
+    EXPECT_TRUE(SameAnswers((*all)[i], expected))
+        << "seed=" << GetParam() << " backend="
+        << BackendKindName(setup.options.backend) << " query " << i << " ("
+        << setup.queries[i].type.ToString() << ")";
+  }
+}
+
+TEST_P(EnginePropertyTest, PartialAnswersAfterOneCallAreSound) {
+  RandomSetup setup = MakeRandomSetup(GetParam() + 1000);
+  EuclideanMetric metric;
+  auto db = MetricDatabase::Open(setup.dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 setup.options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->MultipleSimilarityQuery(setup.queries);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Requirement 1 of Definition 4.
+  EXPECT_TRUE(SameAnswers(
+      result->answers[0],
+      BruteForceQuery(setup.dataset, metric, setup.queries[0])));
+  // Requirement 2 (Definition 4): partial answers are candidates drawn
+  // from the database with exact distances. For range queries they are
+  // moreover guaranteed final answers (any object within eps stays an
+  // answer); for kNN queries they are the best-so-far and may still be
+  // evicted, so only distances and cardinality bounds can be asserted.
+  for (size_t i = 1; i < setup.queries.size(); ++i) {
+    const Query& q = setup.queries[i];
+    const AnswerSet expected = BruteForceQuery(setup.dataset, metric, q);
+    if (q.type.Adaptive()) {
+      EXPECT_LE(result->answers[i].size(), q.type.cardinality);
+    }
+    for (const Neighbor& nb : result->answers[i]) {
+      EXPECT_NEAR(nb.distance,
+                  metric.Distance(q.point, setup.dataset.object(nb.id)),
+                  1e-9);
+      EXPECT_LE(nb.distance, q.type.range);
+      if (!q.type.Adaptive()) {
+        EXPECT_TRUE(
+            std::binary_search(expected.begin(), expected.end(), nb))
+            << "seed=" << GetParam() << " range query " << i;
+      }
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, CostCountersSatisfyInvariants) {
+  RandomSetup setup = MakeRandomSetup(GetParam() + 2000);
+  auto db = MetricDatabase::Open(setup.dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 setup.options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->MultipleSimilarityQueryAll(setup.queries).ok());
+  const QueryStats& s = (*db)->stats();
+  // Every avoided computation required at least one try.
+  EXPECT_LE(s.triangle_avoided, s.triangle_tries);
+  // All queries completed, answers within their cardinality bounds.
+  EXPECT_EQ(s.queries_completed, setup.queries.size());
+  // The matrix is at most m(m-1)/2 pairs (may be fewer: cache reuse).
+  const size_t m = setup.queries.size();
+  EXPECT_LE(s.matrix_dist_computations, m * (m - 1) / 2);
+  // Page accounting: reads plus buffer hits cover every page access.
+  EXPECT_GE(s.TotalPageReads() + s.buffer_hits, s.TotalPageReads());
+}
+
+TEST_P(EnginePropertyTest, RepeatedExecutionIsIdempotent) {
+  RandomSetup setup = MakeRandomSetup(GetParam() + 3000);
+  auto db = MetricDatabase::Open(setup.dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 setup.options);
+  ASSERT_TRUE(db.ok());
+  auto first = (*db)->MultipleSimilarityQueryAll(setup.queries);
+  ASSERT_TRUE(first.ok());
+  auto second = (*db)->MultipleSimilarityQueryAll(setup.queries);
+  ASSERT_TRUE(second.ok());
+  for (size_t i = 0; i < setup.queries.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*first)[i], (*second)[i])) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,156 @@
+// Cross-backend equivalence of the mining algorithms: every instance must
+// produce identical results regardless of the storage organization —
+// backends only change costs, never answers.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "mining/association.h"
+#include "mining/dbscan.h"
+#include "mining/exploration_sim.h"
+#include "mining/knn_classifier.h"
+#include "mining/proximity.h"
+#include "mining/trend.h"
+
+namespace msq {
+namespace {
+
+struct BackendCase {
+  BackendKind kind;
+  const char* name;
+};
+
+std::unique_ptr<MetricDatabase> OpenDb(const Dataset& dataset,
+                                       BackendKind kind) {
+  DatabaseOptions options;
+  options.backend = kind;
+  options.page_size_bytes = 2048;
+  auto db = MetricDatabase::Open(dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+class MiningBackendTest : public ::testing::TestWithParam<BackendCase> {};
+
+TEST_P(MiningBackendTest, DbscanMatchesScanReference) {
+  Dataset dataset = MakeGaussianClustersDataset(700, 4, 5, 0.02, 1101);
+  DbscanParams params;
+  params.eps = 0.07;
+  params.min_pts = 5;
+  auto reference_db = OpenDb(dataset, BackendKind::kLinearScan);
+  auto reference = RunDbscan(reference_db.get(), params);
+  ASSERT_TRUE(reference.ok());
+  auto db = OpenDb(dataset, GetParam().kind);
+  auto got = RunDbscan(db.get(), params);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->cluster_of, reference->cluster_of);
+  EXPECT_EQ(got->num_clusters, reference->num_clusters);
+}
+
+TEST_P(MiningBackendTest, ClassifierPredictionsMatchScanReference) {
+  Dataset dataset = MakeGaussianClustersDataset(800, 5, 6, 0.03, 1103);
+  Rng rng(1105);
+  std::vector<ObjectId> to_classify;
+  for (uint64_t id : rng.SampleWithoutReplacement(dataset.size(), 50)) {
+    to_classify.push_back(static_cast<ObjectId>(id));
+  }
+  KnnClassifierParams params;
+  params.k = 5;
+  auto reference_db = OpenDb(dataset, BackendKind::kLinearScan);
+  auto reference = ClassifyObjects(reference_db.get(), to_classify, params);
+  ASSERT_TRUE(reference.ok());
+  auto db = OpenDb(dataset, GetParam().kind);
+  auto got = ClassifyObjects(db.get(), to_classify, params);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->predicted, reference->predicted);
+}
+
+TEST_P(MiningBackendTest, ExplorationPathsMatchScanReference) {
+  Dataset dataset = MakeImageHistogramDataset(
+      {.n = 900, .dim = 16, .num_clusters = 6, .seed = 1107});
+  ExplorationSimParams params;
+  params.num_users = 3;
+  params.k = 5;
+  params.num_rounds = 2;
+  params.seed = 13;
+  auto reference_db = OpenDb(dataset, BackendKind::kLinearScan);
+  auto reference = RunExplorationSim(reference_db.get(), params);
+  ASSERT_TRUE(reference.ok());
+  auto db = OpenDb(dataset, GetParam().kind);
+  auto got = RunExplorationSim(db.get(), params);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->final_positions, reference->final_positions);
+}
+
+TEST_P(MiningBackendTest, AssociationRulesMatchScanReference) {
+  Dataset dataset = MakeGaussianClustersDataset(500, 3, 4, 0.04, 1109);
+  AssociationParams params;
+  params.eps = 0.1;
+  params.min_confidence = 0.1;
+  params.min_support = 0.01;
+  auto reference_db = OpenDb(dataset, BackendKind::kLinearScan);
+  auto reference = MineNeighborhoodRules(reference_db.get(), params);
+  ASSERT_TRUE(reference.ok());
+  auto db = OpenDb(dataset, GetParam().kind);
+  auto got = MineNeighborhoodRules(db.get(), params);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), reference->size());
+  for (size_t i = 0; i < got->size(); ++i) {
+    EXPECT_EQ((*got)[i].antecedent_label, (*reference)[i].antecedent_label);
+    EXPECT_EQ((*got)[i].consequent_label, (*reference)[i].consequent_label);
+    EXPECT_DOUBLE_EQ((*got)[i].support, (*reference)[i].support);
+  }
+}
+
+TEST_P(MiningBackendTest, ProximityTopObjectsMatchScanReference) {
+  Dataset dataset = MakeGaussianClustersDataset(600, 4, 4, 0.03, 1111);
+  std::vector<ObjectId> cluster;
+  for (ObjectId id = 0; id < dataset.size(); ++id) {
+    if (dataset.label(id) == 2) cluster.push_back(id);
+  }
+  ProximityParams params;
+  params.top_k = 12;
+  auto reference_db = OpenDb(dataset, BackendKind::kLinearScan);
+  auto reference = AnalyzeProximity(reference_db.get(), cluster, params);
+  ASSERT_TRUE(reference.ok());
+  auto db = OpenDb(dataset, GetParam().kind);
+  auto got = AnalyzeProximity(db.get(), cluster, params);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->top_objects.size(), reference->top_objects.size());
+  for (size_t i = 0; i < got->top_objects.size(); ++i) {
+    EXPECT_EQ(got->top_objects[i].id, reference->top_objects[i].id);
+  }
+}
+
+TEST_P(MiningBackendTest, TrendFitMatchesScanReference) {
+  Dataset dataset = MakeUniformDataset(500, 4, 1113);
+  TrendParams params;
+  params.attribute_dim = 1;
+  params.seed = 3;
+  auto reference_db = OpenDb(dataset, BackendKind::kLinearScan);
+  auto reference = DetectTrend(reference_db.get(), 10, params);
+  ASSERT_TRUE(reference.ok());
+  auto db = OpenDb(dataset, GetParam().kind);
+  auto got = DetectTrend(db.get(), 10, params);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->slope, reference->slope);
+  EXPECT_EQ(got->num_observations, reference->num_observations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, MiningBackendTest,
+    ::testing::Values(BackendCase{BackendKind::kXTree, "xtree"},
+                      BackendCase{BackendKind::kMTree, "mtree"},
+                      BackendCase{BackendKind::kVaFile, "vafile"}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,254 @@
+// Tests of the shared-nothing parallel substrate: declustering properties,
+// global answer correctness for any server count and backend, and the
+// cost-accounting surface the parallel benches rely on.
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "parallel/cluster.h"
+#include "parallel/decluster.h"
+#include "tests/test_util.h"
+
+namespace msq {
+namespace {
+
+using testing::BruteForceQuery;
+using testing::SameAnswers;
+
+// ---------------------------------------------------------------------
+// Decluster
+// ---------------------------------------------------------------------
+
+class DeclusterStrategyTest
+    : public ::testing::TestWithParam<DeclusterStrategy> {};
+
+TEST_P(DeclusterStrategyTest, PartitionsAreCompleteAndDisjoint) {
+  auto got = Decluster(1000, 7, GetParam(), 42);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 7u);
+  std::set<ObjectId> seen;
+  for (const auto& part : *got) {
+    EXPECT_FALSE(part.empty());
+    for (ObjectId id : part) {
+      EXPECT_LT(id, 1000u);
+      EXPECT_TRUE(seen.insert(id).second) << "object assigned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST_P(DeclusterStrategyTest, RoughBalance) {
+  auto got = Decluster(10000, 8, GetParam(), 43);
+  ASSERT_TRUE(got.ok());
+  for (const auto& part : *got) {
+    EXPECT_GT(part.size(), 10000u / 8 / 2);
+    EXPECT_LT(part.size(), 10000u / 8 * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, DeclusterStrategyTest,
+                         ::testing::Values(DeclusterStrategy::kRoundRobin,
+                                           DeclusterStrategy::kRandom,
+                                           DeclusterStrategy::kChunked),
+                         [](const auto& info) {
+                           return DeclusterStrategyName(info.param);
+                         });
+
+TEST(DeclusterTest, RejectsDegenerateInputs) {
+  EXPECT_TRUE(Decluster(10, 0, DeclusterStrategy::kRoundRobin, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Decluster(3, 5, DeclusterStrategy::kRoundRobin, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DeclusterTest, RoundRobinIsDeterministicInterleave) {
+  auto got = Decluster(10, 3, DeclusterStrategy::kRoundRobin, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0], (std::vector<ObjectId>{0, 3, 6, 9}));
+  EXPECT_EQ((*got)[1], (std::vector<ObjectId>{1, 4, 7}));
+  EXPECT_EQ((*got)[2], (std::vector<ObjectId>{2, 5, 8}));
+}
+
+// ---------------------------------------------------------------------
+// SharedNothingCluster
+// ---------------------------------------------------------------------
+
+ClusterOptions MakeClusterOptions(size_t servers, BackendKind backend,
+                                  bool threads = true) {
+  ClusterOptions options;
+  options.num_servers = servers;
+  options.use_threads = threads;
+  options.server_options.backend = backend;
+  options.server_options.page_size_bytes = 2048;
+  options.server_options.multi.max_batch_size = 512;
+  return options;
+}
+
+std::vector<Query> GlobalKnnQueries(const Dataset& ds, size_t m, size_t k,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  const auto ids = rng.SampleWithoutReplacement(ds.size(), m);
+  for (uint64_t id : ids) {
+    // Global query ids; points taken from the global dataset.
+    queries.push_back(Query{static_cast<QueryId>(id),
+                            ds.object(static_cast<ObjectId>(id)),
+                            QueryType::Knn(k)});
+  }
+  return queries;
+}
+
+struct ParallelCase {
+  size_t servers;
+  BackendKind backend;
+  const char* name;
+};
+
+class ParallelBackendTest : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelBackendTest, MergedAnswersMatchBruteForce) {
+  Dataset dataset = MakeGaussianClustersDataset(1200, 5, 6, 0.05, 801);
+  auto metric = std::make_shared<EuclideanMetric>();
+  auto cluster = SharedNothingCluster::Create(
+      dataset, metric, MakeClusterOptions(GetParam().servers,
+                                          GetParam().backend));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  const auto queries = GlobalKnnQueries(dataset, 12, 8, 61);
+  auto got = (*cluster)->ExecuteMultipleAll(queries);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const AnswerSet expected = BruteForceQuery(dataset, *metric, queries[i]);
+    EXPECT_TRUE(SameAnswers((*got)[i], expected)) << "query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ParallelBackendTest,
+    ::testing::Values(ParallelCase{1, BackendKind::kLinearScan, "s1_scan"},
+                      ParallelCase{4, BackendKind::kLinearScan, "s4_scan"},
+                      ParallelCase{7, BackendKind::kLinearScan, "s7_scan"},
+                      ParallelCase{4, BackendKind::kXTree, "s4_xtree"},
+                      ParallelCase{4, BackendKind::kMTree, "s4_mtree"}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ParallelTest, RangeQueriesMergeToGlobalResult) {
+  Dataset dataset = MakeUniformDataset(900, 4, 803);
+  auto metric = std::make_shared<EuclideanMetric>();
+  auto cluster = SharedNothingCluster::Create(
+      dataset, metric, MakeClusterOptions(5, BackendKind::kLinearScan));
+  ASSERT_TRUE(cluster.ok());
+  std::vector<Query> queries;
+  Rng rng(805);
+  for (uint64_t i = 0; i < 8; ++i) {
+    queries.push_back(Query{1000 + i, dataset.object(rng.NextIndex(900)),
+                            QueryType::Range(0.3)});
+  }
+  auto got = (*cluster)->ExecuteMultipleAll(queries);
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*got)[i],
+                            BruteForceQuery(dataset, *metric, queries[i])));
+  }
+}
+
+TEST(ParallelTest, ThreadedAndSequentialExecutionAgree) {
+  Dataset dataset = MakeUniformDataset(800, 5, 807);
+  auto metric = std::make_shared<EuclideanMetric>();
+  const auto queries = GlobalKnnQueries(dataset, 10, 5, 63);
+  auto threaded = SharedNothingCluster::Create(
+      dataset, metric,
+      MakeClusterOptions(4, BackendKind::kLinearScan, /*threads=*/true));
+  auto sequential = SharedNothingCluster::Create(
+      dataset, metric,
+      MakeClusterOptions(4, BackendKind::kLinearScan, /*threads=*/false));
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_TRUE(sequential.ok());
+  auto got_t = (*threaded)->ExecuteMultipleAll(queries);
+  auto got_s = (*sequential)->ExecuteMultipleAll(queries);
+  ASSERT_TRUE(got_t.ok());
+  ASSERT_TRUE(got_s.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*got_t)[i], (*got_s)[i]));
+  }
+  // The modeled cost is execution-order independent.
+  EXPECT_DOUBLE_EQ((*threaded)->ModeledElapsedMillis(),
+                   (*sequential)->ModeledElapsedMillis());
+}
+
+TEST(ParallelTest, PerServerIoShrinksWithServerCount) {
+  Dataset dataset = MakeUniformDataset(4000, 8, 809);
+  auto metric = std::make_shared<EuclideanMetric>();
+  const auto queries = GlobalKnnQueries(dataset, 10, 10, 65);
+  uint64_t pages_s2 = 0, pages_s8 = 0;
+  for (size_t s : {2, 8}) {
+    auto cluster = SharedNothingCluster::Create(
+        dataset, metric, MakeClusterOptions(s, BackendKind::kLinearScan));
+    ASSERT_TRUE(cluster.ok());
+    ASSERT_TRUE((*cluster)->ExecuteMultipleAll(queries).ok());
+    uint64_t max_pages = 0;
+    for (const QueryStats& st : (*cluster)->ServerStats()) {
+      max_pages = std::max(max_pages, st.TotalPageReads());
+    }
+    (s == 2 ? pages_s2 : pages_s8) = max_pages;
+  }
+  EXPECT_LT(pages_s8, pages_s2);
+}
+
+TEST(ParallelTest, ElapsedIsMaxAndWorkIsSumOfServers) {
+  Dataset dataset = MakeUniformDataset(1000, 5, 811);
+  auto metric = std::make_shared<EuclideanMetric>();
+  auto cluster = SharedNothingCluster::Create(
+      dataset, metric, MakeClusterOptions(3, BackendKind::kLinearScan));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE(
+      (*cluster)->ExecuteMultipleAll(GlobalKnnQueries(dataset, 6, 4, 67)).ok());
+  double sum = 0.0, max = 0.0;
+  for (size_t i = 0; i < (*cluster)->num_servers(); ++i) {
+    const double ms = (*cluster)->server(i).ModeledTotalMillis();
+    sum += ms;
+    max = std::max(max, ms);
+  }
+  EXPECT_DOUBLE_EQ((*cluster)->ModeledElapsedMillis(), max);
+  EXPECT_DOUBLE_EQ((*cluster)->ModeledTotalWorkMillis(), sum);
+}
+
+TEST(ParallelTest, ResetAllClearsServerStats) {
+  Dataset dataset = MakeUniformDataset(600, 4, 813);
+  auto metric = std::make_shared<EuclideanMetric>();
+  auto cluster = SharedNothingCluster::Create(
+      dataset, metric, MakeClusterOptions(2, BackendKind::kLinearScan));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE(
+      (*cluster)->ExecuteMultipleAll(GlobalKnnQueries(dataset, 4, 3, 69)).ok());
+  (*cluster)->ResetAll();
+  for (const QueryStats& st : (*cluster)->ServerStats()) {
+    EXPECT_EQ(st.TotalPageReads(), 0u);
+    EXPECT_EQ(st.dist_computations, 0u);
+  }
+}
+
+TEST(ParallelTest, EveryPartitionProducesWork) {
+  Dataset dataset = MakeUniformDataset(2000, 6, 815);
+  auto metric = std::make_shared<EuclideanMetric>();
+  auto cluster = SharedNothingCluster::Create(
+      dataset, metric, MakeClusterOptions(4, BackendKind::kLinearScan));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE(
+      (*cluster)->ExecuteMultipleAll(GlobalKnnQueries(dataset, 8, 5, 71)).ok());
+  for (const QueryStats& st : (*cluster)->ServerStats()) {
+    EXPECT_GT(st.dist_computations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace msq

@@ -1,0 +1,349 @@
+// Tests of the cost-based QueryPlanner and the incremental
+// MultiQueryCursor.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/multi_cursor.h"
+#include "core/planner.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "dist/edit_distance.h"
+#include "parallel/cluster.h"
+#include "parallel/decluster.h"
+#include "tests/test_util.h"
+
+namespace msq {
+namespace {
+
+using testing::BruteForceQuery;
+using testing::SameAnswers;
+
+// ---------------------------------------------------------------------
+// QueryPlanner
+// ---------------------------------------------------------------------
+
+PlannerOptions SmallPlannerOptions() {
+  PlannerOptions options;
+  options.database.page_size_bytes = 2048;
+  options.probe_queries = 6;
+  return options;
+}
+
+TEST(PlannerTest, CreateBuildsAllSupportedCandidates) {
+  auto planner = QueryPlanner::Create(
+      MakeGaussianClustersDataset(2000, 8, 8, 0.04, 901),
+      std::make_shared<EuclideanMetric>(), SmallPlannerOptions());
+  ASSERT_TRUE(planner.ok()) << planner.status().ToString();
+  ASSERT_EQ((*planner)->profiles().size(), 2u);
+  for (const BackendProfile& profile : (*planner)->profiles()) {
+    EXPECT_GT(profile.single_query_ms, 0.0);
+    EXPECT_GT(profile.batched_query_ms, 0.0);
+  }
+}
+
+TEST(PlannerTest, SkipsCandidatesThatRejectTheMetric) {
+  // Edit distance has no MINDIST: the X-tree candidate must be skipped,
+  // leaving the scan.
+  PlannerOptions options = SmallPlannerOptions();
+  auto planner = QueryPlanner::Create(
+      MakeSessionDataset(300, 5, 30, 12, 903),
+      std::make_shared<EditDistanceMetric>(), options);
+  ASSERT_TRUE(planner.ok()) << planner.status().ToString();
+  ASSERT_EQ((*planner)->profiles().size(), 1u);
+  EXPECT_EQ((*planner)->profiles()[0].kind, BackendKind::kLinearScan);
+}
+
+TEST(PlannerTest, FailsWhenNoCandidateSupportsMetric) {
+  PlannerOptions options = SmallPlannerOptions();
+  options.candidates = {BackendKind::kXTree, BackendKind::kVaFile};
+  auto planner = QueryPlanner::Create(
+      MakeUniformDataset(200, 4, 905), std::make_shared<AngularMetric>(),
+      options);
+  EXPECT_TRUE(planner.status().IsNotSupported());
+}
+
+TEST(PlannerTest, RejectsEmptyCandidateList) {
+  PlannerOptions options = SmallPlannerOptions();
+  options.candidates.clear();
+  auto planner = QueryPlanner::Create(MakeUniformDataset(100, 3, 907),
+                                      std::make_shared<EuclideanMetric>(),
+                                      options);
+  EXPECT_TRUE(planner.status().IsInvalidArgument());
+}
+
+TEST(PlannerTest, RegimeChangeBetweenSingleAndLargeBatches) {
+  // On clustered data the index wins single queries; for very large
+  // batches the scan's perfect I/O amortization wins (Sec. 6.3). The
+  // planner's profiles must produce exactly that crossover.
+  auto planner = QueryPlanner::Create(
+      MakeGaussianClustersDataset(8000, 8, 10, 0.03, 909),
+      std::make_shared<EuclideanMetric>(), SmallPlannerOptions());
+  ASSERT_TRUE(planner.ok());
+  const PlanDecision at_1 = (*planner)->Plan(1);
+  const PlanDecision at_big = (*planner)->Plan(100000);
+  EXPECT_EQ(at_1.chosen, BackendKind::kXTree);
+  EXPECT_EQ(at_big.chosen, BackendKind::kLinearScan);
+}
+
+TEST(PlannerTest, ExecuteBatchReturnsCorrectAnswers) {
+  Dataset dataset = MakeGaussianClustersDataset(1500, 6, 6, 0.05, 911);
+  EuclideanMetric metric;
+  auto planner = QueryPlanner::Create(dataset,
+                                      std::make_shared<EuclideanMetric>(),
+                                      SmallPlannerOptions());
+  ASSERT_TRUE(planner.ok());
+  MetricDatabase* any_db = (*planner)->database(BackendKind::kLinearScan);
+  ASSERT_NE(any_db, nullptr);
+  Rng rng(913);
+  std::vector<Query> batch;
+  for (uint64_t id : rng.SampleWithoutReplacement(dataset.size(), 15)) {
+    batch.push_back(any_db->MakeObjectKnnQuery(static_cast<ObjectId>(id), 7));
+  }
+  auto got = (*planner)->ExecuteBatch(batch);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*got)[i],
+                            BruteForceQuery(dataset, metric, batch[i])));
+  }
+  ASSERT_EQ((*planner)->decisions().size(), 1u);
+  EXPECT_EQ((*planner)->decisions()[0].batch_size, 15u);
+}
+
+TEST(PlannerTest, ExecuteBatchChunksOversizedBatches) {
+  Dataset dataset = MakeUniformDataset(600, 5, 915);
+  PlannerOptions options = SmallPlannerOptions();
+  options.database.multi.max_batch_size = 8;  // force chunking
+  auto planner = QueryPlanner::Create(dataset,
+                                      std::make_shared<EuclideanMetric>(),
+                                      options);
+  ASSERT_TRUE(planner.ok());
+  MetricDatabase* db = (*planner)->database(BackendKind::kLinearScan);
+  std::vector<Query> batch;
+  for (ObjectId id = 0; id < 30; ++id) {
+    batch.push_back(db->MakeObjectKnnQuery(id, 4));
+  }
+  auto got = (*planner)->ExecuteBatch(batch);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->size(), 30u);
+  EuclideanMetric metric;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*got)[i],
+                            BruteForceQuery(dataset, metric, batch[i])));
+  }
+}
+
+TEST(PlannerTest, PredictMsInterpolatesMonotonically) {
+  BackendProfile profile;
+  profile.single_query_ms = 100.0;
+  profile.batched_query_ms = 5.0;
+  double prev = profile.PredictMs(1);
+  EXPECT_DOUBLE_EQ(prev, 100.0);
+  for (size_t m : {2, 5, 10, 50, 100, 1000}) {
+    const double cur = profile.PredictMs(m);
+    EXPECT_LE(cur, prev);
+    EXPECT_GE(cur, 5.0);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(profile.PredictMs(1000000), 5.0);
+}
+
+// ---------------------------------------------------------------------
+// MultiQueryCursor
+// ---------------------------------------------------------------------
+
+std::unique_ptr<MetricDatabase> CursorDb(Dataset dataset) {
+  DatabaseOptions options;
+  options.backend = BackendKind::kXTree;
+  options.page_size_bytes = 2048;
+  auto db = MetricDatabase::Open(std::move(dataset),
+                                 std::make_shared<EuclideanMetric>(),
+                                 options);
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(MultiQueryCursorTest, DrainsAllQueriesWithCompleteAnswers) {
+  Dataset dataset = MakeGaussianClustersDataset(1000, 5, 5, 0.05, 917);
+  EuclideanMetric metric;
+  auto db = CursorDb(dataset);
+  MultiQueryCursor cursor(&db->engine(), nullptr);
+  std::vector<Query> batch;
+  for (ObjectId id : {5u, 100u, 400u, 700u, 950u}) {
+    batch.push_back(db->MakeObjectKnnQuery(id, 6));
+  }
+  ASSERT_TRUE(cursor.Push(batch).ok());
+  size_t drained = 0;
+  while (cursor.HasNext()) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    EXPECT_EQ(next->id, batch[drained].id);
+    EXPECT_TRUE(SameAnswers(next->answers,
+                            BruteForceQuery(dataset, metric,
+                                            batch[drained])));
+    ++drained;
+  }
+  EXPECT_EQ(drained, batch.size());
+  EXPECT_EQ(cursor.completed(), batch.size());
+}
+
+TEST(MultiQueryCursorTest, PeekShowsPartialSubsetOfTrueAnswers) {
+  Dataset dataset = MakeGaussianClustersDataset(1200, 5, 6, 0.05, 919);
+  EuclideanMetric metric;
+  auto db = CursorDb(dataset);
+  MultiQueryCursor cursor(&db->engine(), nullptr);
+  std::vector<Query> batch;
+  for (ObjectId id : {3u, 11u, 222u, 444u}) {
+    batch.push_back(db->MakeObjectRangeQuery(id, 0.2));
+  }
+  ASSERT_TRUE(cursor.Push(batch).ok());
+  ASSERT_TRUE(cursor.Next().ok());  // completes batch[0], prefetches rest
+  for (size_t i = 0; i < cursor.pending(); ++i) {
+    auto partial = cursor.Peek(i);
+    ASSERT_TRUE(partial.ok());
+    const AnswerSet full = BruteForceQuery(dataset, metric, batch[i + 1]);
+    for (const Neighbor& nb : *partial) {
+      EXPECT_TRUE(std::binary_search(full.begin(), full.end(), nb))
+          << "peeked answer not in the true answer set";
+    }
+  }
+}
+
+TEST(MultiQueryCursorTest, QueriesCanArriveMidIteration) {
+  Dataset dataset = MakeUniformDataset(800, 4, 921);
+  EuclideanMetric metric;
+  auto db = CursorDb(dataset);
+  MultiQueryCursor cursor(&db->engine(), nullptr);
+  ASSERT_TRUE(cursor.Push(db->MakeObjectKnnQuery(1, 5)).ok());
+  ASSERT_TRUE(cursor.Next().ok());
+  EXPECT_FALSE(cursor.HasNext());
+  // The mining loop discovers new query objects and pushes them.
+  Query late = db->MakeObjectKnnQuery(2, 5);
+  ASSERT_TRUE(cursor.Push(late).ok());
+  auto next = cursor.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->id, late.id);
+  EXPECT_TRUE(SameAnswers(next->answers,
+                          BruteForceQuery(dataset, metric, late)));
+}
+
+TEST(MultiQueryCursorTest, RejectsDuplicatePendingIds) {
+  Dataset dataset = MakeUniformDataset(300, 3, 923);
+  auto db = CursorDb(dataset);
+  MultiQueryCursor cursor(&db->engine(), nullptr);
+  ASSERT_TRUE(cursor.Push(db->MakeObjectKnnQuery(1, 3)).ok());
+  EXPECT_TRUE(cursor.Push(db->MakeObjectKnnQuery(1, 3))
+                  .IsInvalidArgument());
+}
+
+TEST(MultiQueryCursorTest, NextOnEmptyCursorFails) {
+  Dataset dataset = MakeUniformDataset(100, 3, 925);
+  auto db = CursorDb(dataset);
+  MultiQueryCursor cursor(&db->engine(), nullptr);
+  EXPECT_TRUE(cursor.Next().status().IsInvalidArgument());
+  EXPECT_TRUE(cursor.Peek(0).status().IsInvalidArgument());
+}
+
+TEST(MultiQueryCursorTest, WindowRespectsEngineBatchLimit) {
+  Dataset dataset = MakeUniformDataset(500, 4, 927);
+  DatabaseOptions options;
+  options.backend = BackendKind::kLinearScan;
+  options.multi.max_batch_size = 4;
+  auto db = MetricDatabase::Open(dataset,
+                                 std::make_shared<EuclideanMetric>(),
+                                 options);
+  ASSERT_TRUE(db.ok());
+  MultiQueryCursor cursor(&(*db)->engine(), nullptr);
+  for (ObjectId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(cursor.Push((*db)->MakeObjectKnnQuery(id, 3)).ok());
+  }
+  EuclideanMetric metric;
+  size_t drained = 0;
+  while (cursor.HasNext()) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ++drained;
+  }
+  EXPECT_EQ(drained, 10u);
+}
+
+// ---------------------------------------------------------------------
+// Spatial declustering
+// ---------------------------------------------------------------------
+
+TEST(SpatialDeclusterTest, PartitionsAreCompleteDisjointAndBalanced) {
+  Dataset dataset = MakeUniformDataset(1000, 4, 929);
+  auto got = DeclusterDataset(dataset, 7, DeclusterStrategy::kSpatial, 1);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), 7u);
+  std::set<ObjectId> seen;
+  for (const auto& part : *got) {
+    EXPECT_GE(part.size(), 1000u / 7 / 2);
+    EXPECT_LE(part.size(), 1000u / 7 * 2);
+    for (ObjectId id : part) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SpatialDeclusterTest, PartitionsAreSpatiallyCompact) {
+  // Average pairwise distance within a spatial partition must be well
+  // below that of a round-robin partition.
+  Dataset dataset = MakeUniformDataset(2000, 3, 931);
+  EuclideanMetric metric;
+  auto spatial = DeclusterDataset(dataset, 8, DeclusterStrategy::kSpatial, 1);
+  auto rr = DeclusterDataset(dataset, 8, DeclusterStrategy::kRoundRobin, 1);
+  ASSERT_TRUE(spatial.ok());
+  ASSERT_TRUE(rr.ok());
+  auto avg_intra = [&](const std::vector<std::vector<ObjectId>>& parts) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (const auto& part : parts) {
+      for (size_t i = 0; i < part.size(); i += 13) {
+        for (size_t j = i + 1; j < part.size(); j += 13) {
+          sum += metric.Distance(dataset.object(part[i]),
+                                 dataset.object(part[j]));
+          ++count;
+        }
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  EXPECT_LT(avg_intra(*spatial), 0.7 * avg_intra(*rr));
+}
+
+TEST(SpatialDeclusterTest, PlainDeclusterRejectsSpatial) {
+  EXPECT_TRUE(Decluster(100, 4, DeclusterStrategy::kSpatial, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SpatialDeclusterTest, ClusterAnswersStayCorrect) {
+  Dataset dataset = MakeGaussianClustersDataset(900, 4, 5, 0.05, 933);
+  EuclideanMetric metric;
+  ClusterOptions options;
+  options.num_servers = 5;
+  options.strategy = DeclusterStrategy::kSpatial;
+  options.server_options.page_size_bytes = 2048;
+  options.server_options.multi.max_batch_size = 64;
+  auto cluster = SharedNothingCluster::Create(
+      dataset, std::make_shared<EuclideanMetric>(), options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  std::vector<Query> queries;
+  for (ObjectId id : {1u, 200u, 500u, 880u}) {
+    queries.push_back(Query{static_cast<QueryId>(id), dataset.object(id),
+                            QueryType::Knn(6)});
+  }
+  auto got = (*cluster)->ExecuteMultipleAll(queries);
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*got)[i],
+                            BruteForceQuery(dataset, metric, queries[i])));
+  }
+}
+
+}  // namespace
+}  // namespace msq

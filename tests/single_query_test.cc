@@ -1,0 +1,236 @@
+// Correctness of the single similarity query (Figure 1) on every backend,
+// verified against the brute-force oracle over random workloads, plus the
+// statistics the engines must charge.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "tests/test_util.h"
+
+namespace msq {
+namespace {
+
+using testing::BruteForceQuery;
+using testing::SameAnswers;
+
+struct BackendCase {
+  BackendKind kind;
+  const char* name;
+};
+
+class SingleQueryBackendTest : public ::testing::TestWithParam<BackendCase> {
+ protected:
+  std::unique_ptr<MetricDatabase> OpenDb(Dataset dataset,
+                                         size_t page_size = 2048) {
+    DatabaseOptions options;
+    options.backend = GetParam().kind;
+    options.page_size_bytes = page_size;  // small pages -> deep trees
+    auto metric = std::make_shared<EuclideanMetric>();
+    auto db = MetricDatabase::Open(std::move(dataset), metric, options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  }
+};
+
+TEST_P(SingleQueryBackendTest, KnnMatchesBruteForce) {
+  Dataset dataset = MakeGaussianClustersDataset(1500, 6, 8, 0.05, 101);
+  auto db = OpenDb(dataset);
+  EuclideanMetric metric;
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec point(6);
+    for (auto& x : point) x = static_cast<Scalar>(rng.NextDouble());
+    const size_t k = 1 + rng.NextIndex(20);
+    Query q = db->MakeKnnQuery(point, k);
+    auto got = db->SimilarityQuery(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const AnswerSet expected = BruteForceQuery(db->dataset(), metric, q);
+    EXPECT_TRUE(SameAnswers(*got, expected))
+        << "k=" << k << " trial=" << trial;
+  }
+}
+
+TEST_P(SingleQueryBackendTest, RangeMatchesBruteForce) {
+  Dataset dataset = MakeGaussianClustersDataset(1200, 5, 6, 0.05, 103);
+  auto db = OpenDb(dataset);
+  EuclideanMetric metric;
+  Rng rng(57);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec point(5);
+    for (auto& x : point) x = static_cast<Scalar>(rng.NextDouble());
+    const double eps = rng.NextDouble(0.01, 0.4);
+    Query q = db->MakeRangeQuery(point, eps);
+    auto got = db->SimilarityQuery(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const AnswerSet expected = BruteForceQuery(db->dataset(), metric, q);
+    EXPECT_TRUE(SameAnswers(*got, expected))
+        << "eps=" << eps << " trial=" << trial;
+  }
+}
+
+TEST_P(SingleQueryBackendTest, BoundedKnnMatchesBruteForce) {
+  Dataset dataset = MakeGaussianClustersDataset(1000, 4, 5, 0.05, 107);
+  auto db = OpenDb(dataset);
+  EuclideanMetric metric;
+  Rng rng(59);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec point(4);
+    for (auto& x : point) x = static_cast<Scalar>(rng.NextDouble());
+    Query q = db->MakeBoundedKnnQuery(point, 1 + rng.NextIndex(10),
+                                      rng.NextDouble(0.05, 0.3));
+    auto got = db->SimilarityQuery(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const AnswerSet expected = BruteForceQuery(db->dataset(), metric, q);
+    EXPECT_TRUE(SameAnswers(*got, expected)) << "trial=" << trial;
+  }
+}
+
+TEST_P(SingleQueryBackendTest, QueryOnDatabaseObjectFindsItselfFirst) {
+  Dataset dataset = MakeUniformDataset(800, 5, 109);
+  auto db = OpenDb(dataset);
+  for (ObjectId id : {0u, 13u, 799u}) {
+    auto got = db->SimilarityQuery(db->MakeObjectKnnQuery(id, 3));
+    ASSERT_TRUE(got.ok());
+    ASSERT_FALSE(got->empty());
+    EXPECT_EQ((*got)[0].id, id);
+    EXPECT_NEAR((*got)[0].distance, 0.0, 1e-9);
+  }
+}
+
+TEST_P(SingleQueryBackendTest, EmptyRangeQueryReturnsNothing) {
+  Dataset dataset = MakeUniformDataset(500, 4, 111);
+  auto db = OpenDb(dataset);
+  Vec far_away(4, 100.0f);
+  auto got = db->SimilarityQuery(db->MakeRangeQuery(far_away, 0.5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_P(SingleQueryBackendTest, KnnLargerThanDatabaseReturnsEverything) {
+  Dataset dataset = MakeUniformDataset(50, 3, 113);
+  auto db = OpenDb(dataset);
+  Vec point(3, 0.5f);
+  auto got = db->SimilarityQuery(db->MakeKnnQuery(point, 500));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 50u);
+}
+
+TEST_P(SingleQueryBackendTest, StatsChargeDistancesAndPages) {
+  Dataset dataset = MakeUniformDataset(600, 4, 115);
+  auto db = OpenDb(dataset);
+  db->ResetStats();
+  Vec point(4, 0.5f);
+  ASSERT_TRUE(db->SimilarityQuery(db->MakeKnnQuery(point, 5)).ok());
+  EXPECT_GT(db->stats().dist_computations, 0u);
+  EXPECT_GT(db->stats().TotalPageReads(), 0u);
+  EXPECT_EQ(db->stats().queries_completed, 1u);
+  EXPECT_EQ(db->stats().answers_produced, 5u);
+}
+
+TEST_P(SingleQueryBackendTest, AnswersAreSortedByDistanceThenId) {
+  Dataset dataset = MakeUniformDataset(700, 4, 117);
+  auto db = OpenDb(dataset);
+  Vec point(4, 0.25f);
+  auto got = db->SimilarityQuery(db->MakeRangeQuery(point, 0.4));
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 1; i < got->size(); ++i) {
+    EXPECT_TRUE((*got)[i - 1] < (*got)[i] || (*got)[i - 1] == (*got)[i]);
+  }
+}
+
+TEST_P(SingleQueryBackendTest, EmptyQueryPointRejected) {
+  Dataset dataset = MakeUniformDataset(100, 3, 119);
+  auto db = OpenDb(dataset);
+  Query q{12345, Vec{}, QueryType::Knn(3)};
+  EXPECT_TRUE(db->SimilarityQuery(q).status().IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SingleQueryBackendTest,
+    ::testing::Values(BackendCase{BackendKind::kLinearScan, "scan"},
+                      BackendCase{BackendKind::kXTree, "xtree"},
+                      BackendCase{BackendKind::kMTree, "mtree"},
+                      BackendCase{BackendKind::kVaFile, "vafile"}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------
+// Backend-specific I/O behaviour of the single query
+// ---------------------------------------------------------------------
+
+TEST(SingleQueryIoTest, ScanReadsEveryPageSequentially) {
+  Dataset dataset = MakeUniformDataset(1000, 8, 121);
+  DatabaseOptions options;
+  options.backend = BackendKind::kLinearScan;
+  options.page_size_bytes = 1024;
+  options.buffer_fraction = 0.0;  // no buffer: pure disk behaviour
+  auto db = MetricDatabase::Open(std::move(dataset),
+                                 std::make_shared<EuclideanMetric>(), options);
+  ASSERT_TRUE(db.ok());
+  (*db)->ResetStats();
+  Vec point(8, 0.5f);
+  ASSERT_TRUE((*db)->SimilarityQuery((*db)->MakeKnnQuery(point, 5)).ok());
+  const QueryStats& stats = (*db)->stats();
+  EXPECT_EQ(stats.TotalPageReads(), (*db)->backend().NumDataPages());
+  EXPECT_EQ(stats.random_page_reads, 1u);  // only the first seek
+  // And the scan computes a distance to every object.
+  EXPECT_EQ(stats.dist_computations, (*db)->dataset().size());
+}
+
+TEST(SingleQueryIoTest, XTreeReadsFewerPagesThanScan) {
+  Dataset dataset = MakeGaussianClustersDataset(4000, 8, 10, 0.03, 123);
+  auto metric = std::make_shared<EuclideanMetric>();
+  DatabaseOptions options;
+  options.page_size_bytes = 2048;
+  options.backend = BackendKind::kLinearScan;
+  auto scan_db = MetricDatabase::Open(dataset, metric, options);
+  ASSERT_TRUE(scan_db.ok());
+  options.backend = BackendKind::kXTree;
+  auto xtree_db = MetricDatabase::Open(dataset, metric, options);
+  ASSERT_TRUE(xtree_db.ok());
+
+  Rng rng(61);
+  uint64_t scan_pages = 0, xtree_pages = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec point(8);
+    for (auto& x : point) x = static_cast<Scalar>(rng.NextDouble());
+    (*scan_db)->ResetAll();
+    (*xtree_db)->ResetAll();
+    ASSERT_TRUE(
+        (*scan_db)->SimilarityQuery((*scan_db)->MakeKnnQuery(point, 10)).ok());
+    ASSERT_TRUE(
+        (*xtree_db)
+            ->SimilarityQuery((*xtree_db)->MakeKnnQuery(point, 10))
+            .ok());
+    scan_pages += (*scan_db)->stats().TotalPageReads();
+    xtree_pages += (*xtree_db)->stats().TotalPageReads();
+  }
+  EXPECT_LT(xtree_pages, scan_pages / 2)
+      << "X-tree should have real selectivity on clustered data";
+}
+
+TEST(SingleQueryIoTest, MTreeComputesFewerDistancesThanScan) {
+  Dataset dataset = MakeGaussianClustersDataset(3000, 8, 10, 0.03, 125);
+  auto metric = std::make_shared<EuclideanMetric>();
+  DatabaseOptions options;
+  options.page_size_bytes = 2048;
+  options.backend = BackendKind::kMTree;
+  auto db = MetricDatabase::Open(dataset, metric, options);
+  ASSERT_TRUE(db.ok());
+  Rng rng(63);
+  Vec point(8);
+  for (auto& x : point) x = static_cast<Scalar>(rng.NextDouble());
+  (*db)->ResetStats();
+  ASSERT_TRUE((*db)->SimilarityQuery((*db)->MakeKnnQuery(point, 10)).ok());
+  EXPECT_LT((*db)->stats().dist_computations, dataset.size());
+}
+
+}  // namespace
+}  // namespace msq

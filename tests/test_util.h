@@ -1,0 +1,48 @@
+// Shared helpers for the msq test suite: brute-force query oracles and
+// small deterministic datasets.
+
+#ifndef MSQ_TESTS_TEST_UTIL_H_
+#define MSQ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "dataset/dataset.h"
+#include "dist/metric.h"
+
+namespace msq::testing {
+
+/// Exhaustive reference implementation of any similarity query, used as
+/// the oracle against every backend and engine.
+inline AnswerSet BruteForceQuery(const Dataset& ds, const Metric& metric,
+                                 const Query& query) {
+  AnswerSet all;
+  all.reserve(ds.size());
+  for (ObjectId id = 0; id < ds.size(); ++id) {
+    const double d = metric.Distance(query.point, ds.object(id));
+    if (d <= query.type.range) all.push_back({id, d});
+  }
+  std::sort(all.begin(), all.end());
+  if (query.type.Adaptive() && all.size() > query.type.cardinality) {
+    all.resize(query.type.cardinality);
+  }
+  return all;
+}
+
+/// True when two answer sets are identical (same ids and distances, same
+/// order — the (distance, id) tie-break makes answers unique).
+inline bool SameAnswers(const AnswerSet& a, const AnswerSet& b,
+                        double tol = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id) return false;
+    if (std::abs(a[i].distance - b[i].distance) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace msq::testing
+
+#endif  // MSQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,240 @@
+// msq_cli — command-line front end of the library:
+//
+//   msq_cli generate kind=tycho n=60000 out=/tmp/astro.bin
+//   msq_cli info     data=/tmp/astro.bin
+//   msq_cli query    data=/tmp/astro.bin backend=xtree k=10 object=42
+//   msq_cli batch    data=/tmp/astro.bin backend=linear_scan m=50 k=10
+//   msq_cli dbscan   data=/tmp/astro.bin eps=0.08 min_pts=6
+//
+// The binary dataset format is produced/consumed by Dataset::SaveBinary /
+// LoadBinary; `generate` also accepts out=*.csv.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "msq/msq.h"
+
+namespace {
+
+using namespace msq;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<Dataset> LoadData(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
+    return Dataset::LoadCsv(path, /*has_label=*/true);
+  }
+  return Dataset::LoadBinary(path);
+}
+
+BackendKind ParseBackend(const std::string& name) {
+  if (name == "linear_scan") return BackendKind::kLinearScan;
+  if (name == "mtree") return BackendKind::kMTree;
+  if (name == "va_file") return BackendKind::kVaFile;
+  return BackendKind::kXTree;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  Flags flags;
+  flags.Define("kind", "tycho",
+               "tycho | image | uniform | clusters | sessions");
+  flags.Define("n", "60000", "objects to generate");
+  flags.Define("dim", "20", "dimensionality (uniform/clusters)");
+  flags.Define("clusters", "10", "cluster count (clusters kind)");
+  flags.Define("seed", "42", "generator seed");
+  flags.Define("out", "dataset.bin", "output path (.bin or .csv)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string kind = flags.GetString("kind");
+  Dataset dataset;
+  if (kind == "tycho") {
+    TychoLikeOptions options;
+    options.n = n;
+    options.seed = seed;
+    dataset = MakeTychoLikeDataset(options);
+  } else if (kind == "image") {
+    ImageHistogramOptions options;
+    options.n = n;
+    options.seed = seed;
+    dataset = MakeImageHistogramDataset(options);
+  } else if (kind == "uniform") {
+    dataset = MakeUniformDataset(n, static_cast<size_t>(flags.GetInt("dim")),
+                                 seed);
+  } else if (kind == "clusters") {
+    dataset = MakeGaussianClustersDataset(
+        n, static_cast<size_t>(flags.GetInt("dim")),
+        static_cast<size_t>(flags.GetInt("clusters")), 0.03, seed);
+  } else if (kind == "sessions") {
+    dataset = MakeSessionDataset(n, 12, 200, 16, seed);
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+    return 1;
+  }
+  const std::string out = flags.GetString("out");
+  const Status saved =
+      out.size() > 4 && out.substr(out.size() - 4) == ".csv"
+          ? dataset.SaveCsv(out)
+          : dataset.SaveBinary(out);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %zu x %zu-d objects to %s\n", dataset.size(),
+              dataset.dim(), out.c_str());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  Flags flags;
+  flags.Define("data", "dataset.bin", "dataset path");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  auto dataset = LoadData(flags.GetString("data"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  Vec mins, maxs;
+  dataset->Bounds(&mins, &maxs);
+  std::printf("objects: %zu\ndim: %zu\nlabeled: %s\n", dataset->size(),
+              dataset->dim(), dataset->has_labels() ? "yes" : "no");
+  std::printf("bounds[0]: [%g, %g]\n", mins.empty() ? 0.0 : mins[0],
+              maxs.empty() ? 0.0 : maxs[0]);
+  const size_t pages = (dataset->size() +
+                        ObjectsPerPage(kDefaultPageSizeBytes,
+                                       dataset->dim()) -
+                        1) /
+                       ObjectsPerPage(kDefaultPageSizeBytes, dataset->dim());
+  std::printf("data pages (32 KB): %zu\n", pages);
+  return 0;
+}
+
+StatusOr<std::unique_ptr<MetricDatabase>> OpenFromFlags(const Flags& flags) {
+  auto dataset = LoadData(flags.GetString("data"));
+  if (!dataset.ok()) return dataset.status();
+  DatabaseOptions options;
+  options.backend = ParseBackend(flags.GetString("backend"));
+  options.multi.max_batch_size = 1024;
+  return MetricDatabase::Open(std::move(dataset).value(),
+                              std::make_shared<EuclideanMetric>(), options);
+}
+
+int CmdQuery(int argc, char** argv) {
+  Flags flags;
+  flags.Define("data", "dataset.bin", "dataset path");
+  flags.Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  flags.Define("object", "0", "query object id");
+  flags.Define("k", "10", "neighbors (0 = use eps range instead)");
+  flags.Define("eps", "0.1", "range radius when k=0");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  auto db = OpenFromFlags(flags);
+  if (!db.ok()) return Fail(db.status());
+  const ObjectId object = static_cast<ObjectId>(flags.GetInt("object"));
+  if (object >= (*db)->dataset().size()) {
+    std::fprintf(stderr, "object id out of range\n");
+    return 1;
+  }
+  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+  const Query query =
+      k > 0 ? (*db)->MakeObjectKnnQuery(object, k)
+            : (*db)->MakeObjectRangeQuery(object, flags.GetDouble("eps"));
+  auto answers = (*db)->SimilarityQuery(query);
+  if (!answers.ok()) return Fail(answers.status());
+  for (const Neighbor& nb : *answers) {
+    std::printf("%u\t%.6f\t%d\n", nb.id, nb.distance,
+                (*db)->dataset().label(nb.id));
+  }
+  std::fprintf(stderr, "%s\n", (*db)->stats().ToString().c_str());
+  return 0;
+}
+
+int CmdBatch(int argc, char** argv) {
+  Flags flags;
+  flags.Define("data", "dataset.bin", "dataset path");
+  flags.Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  flags.Define("m", "50", "batch width");
+  flags.Define("k", "10", "neighbors per query");
+  flags.Define("seed", "1", "query sample seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  auto db = OpenFromFlags(flags);
+  if (!db.ok()) return Fail(db.status());
+  const size_t m = std::min<size_t>(
+      static_cast<size_t>(flags.GetInt("m")), (*db)->dataset().size());
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  std::vector<Query> batch;
+  for (uint64_t id :
+       rng.SampleWithoutReplacement((*db)->dataset().size(), m)) {
+    batch.push_back((*db)->MakeObjectKnnQuery(
+        static_cast<ObjectId>(id),
+        static_cast<size_t>(flags.GetInt("k"))));
+  }
+  WallTimer timer;
+  auto all = (*db)->MultipleSimilarityQueryAll(batch);
+  if (!all.ok()) return Fail(all.status());
+  std::printf("completed %zu queries in one multiple similarity query\n",
+              all->size());
+  std::printf("stats: %s\n", (*db)->stats().ToString().c_str());
+  std::printf("modeled: io %.2f ms, cpu %.2f ms | wall %.1f ms\n",
+              (*db)->ModeledIoMillis(), (*db)->ModeledCpuMillis(),
+              timer.ElapsedMillis());
+  return 0;
+}
+
+int CmdDbscan(int argc, char** argv) {
+  Flags flags;
+  flags.Define("data", "dataset.bin", "dataset path");
+  flags.Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  flags.Define("eps", "0.08", "DBSCAN Eps");
+  flags.Define("min_pts", "6", "DBSCAN MinPts");
+  flags.Define("m", "64", "multiple-query batch width");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  auto db = OpenFromFlags(flags);
+  if (!db.ok()) return Fail(db.status());
+  DbscanParams params;
+  params.eps = flags.GetDouble("eps");
+  params.min_pts = static_cast<size_t>(flags.GetInt("min_pts"));
+  params.batch_size = static_cast<size_t>(flags.GetInt("m"));
+  auto result = RunDbscan(db->get(), params);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("clusters: %zu\n", result->num_clusters);
+  size_t noise = 0;
+  for (int32_t c : result->cluster_of) noise += (c == kDbscanNoise);
+  std::printf("noise objects: %zu / %zu\n", noise,
+              result->cluster_of.size());
+  std::printf("stats: %s\n", (*db)->stats().ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <generate|info|query|batch|dbscan> [key=value...]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand's Flags sees its own arguments.
+  argv[1] = argv[0];
+  if (command == "generate") return CmdGenerate(argc - 1, argv + 1);
+  if (command == "info") return CmdInfo(argc - 1, argv + 1);
+  if (command == "query") return CmdQuery(argc - 1, argv + 1);
+  if (command == "batch") return CmdBatch(argc - 1, argv + 1);
+  if (command == "dbscan") return CmdDbscan(argc - 1, argv + 1);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}
