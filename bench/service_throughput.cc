@@ -1,0 +1,145 @@
+// Serving-layer throughput: queries/sec of the BatchScheduler as a
+// function of the admission batch size and flush deadline.
+//
+// A fixed population of producer threads submits one query stream (mixed
+// kNN, query objects drawn from the dataset) through the scheduler; the
+// scheduler packs them into multiple similarity queries and executes the
+// batches on a shared ThreadPool. Larger admission batches amortize page
+// reads and the query-distance matrix across more queries (Secs. 5.1/5.2)
+// at the price of queueing latency — the sweep makes the trade-off
+// measurable. The m=1 row (batch=1, zero deadline) is the no-batching
+// baseline the paper compares against.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "parallel/thread_pool.h"
+#include "service/batch_scheduler.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+struct ServiceRun {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  uint64_t batches = 0;
+  QueryStats stats;
+};
+
+ServiceRun RunService(MetricDatabase* db, const std::vector<Query>& queries,
+                      size_t producers, size_t batch_size,
+                      std::chrono::microseconds deadline) {
+  db->ResetAll();
+  ThreadPool pool;
+  AggregateStats sink;
+  BatchSchedulerOptions options;
+  options.max_batch_size = batch_size;
+  options.flush_deadline = deadline;
+  BatchScheduler scheduler(&db->engine(), &pool, options, &sink);
+
+  std::vector<AnswerFuture> futures(queries.size());
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t i = p; i < queries.size(); i += producers) {
+        futures[i] = scheduler.Submit(queries[i]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  scheduler.Drain();
+  ServiceRun r;
+  r.wall_ms = timer.ElapsedMillis();
+  for (auto& f : futures) {
+    auto got = f.get();
+    if (!got.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   got.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  r.qps = 1000.0 * static_cast<double>(queries.size()) / r.wall_ms;
+  r.batches = scheduler.batches_executed();
+  r.stats = sink.Snapshot();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("n", "20000", "dataset size (astronomy surrogate, 20-d)");
+  flags.Define("num_queries", "2000", "queries submitted per configuration");
+  flags.Define("producers", "4", "concurrent producer threads");
+  flags.Define("k", "10", "kNN cardinality");
+  flags.Define("batch_values", "1,8,32,100", "admission batch sizes to sweep");
+  flags.Define("deadline_us_values", "0,500,2000,10000",
+               "flush deadlines (microseconds) to sweep");
+  flags.Define("backend", "linear_scan", "linear_scan|xtree|mtree|va_file");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+  const size_t producers = static_cast<size_t>(flags.GetInt("producers"));
+  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+
+  BackendKind backend = BackendKind::kLinearScan;
+  bool backend_known = false;
+  for (BackendKind kind : {BackendKind::kLinearScan, BackendKind::kXTree,
+                           BackendKind::kMTree, BackendKind::kVaFile}) {
+    if (BackendKindName(kind) == flags.GetString("backend")) {
+      backend = kind;
+      backend_known = true;
+    }
+  }
+  if (!backend_known) {
+    std::printf("unknown backend '%s' (expected linear_scan|xtree|mtree|"
+                "va_file)\n", flags.GetString("backend").c_str());
+    return 1;
+  }
+
+  Workload w = MakeAstroWorkload(n, num_queries);
+  w.k = k;
+  auto db = OpenBenchDb(w, backend, /*max_batch=*/256);
+
+  // Fresh unique ids: every configuration answers every query from
+  // scratch (no cross-run answer-buffer credit distorting the sweep).
+  std::vector<Query> queries;
+  queries.reserve(w.queries.size());
+  uint64_t next_id = static_cast<uint64_t>(1) << 40;
+  for (ObjectId obj : w.queries) {
+    queries.push_back(
+        Query{next_id++, w.dataset.object(obj), QueryType::Knn(w.k)});
+  }
+
+  std::printf("service throughput — %s, n=%zu, %zu queries, %zu producers, "
+              "k=%zu\n", BackendKindName(backend).c_str(), n, queries.size(),
+              producers, k);
+  std::printf("%8s %12s %10s %10s %12s %14s\n", "batch", "deadline_us",
+              "wall_ms", "qps", "batches", "pages/query");
+  for (int64_t batch : flags.GetIntList("batch_values")) {
+    for (int64_t deadline_us : flags.GetIntList("deadline_us_values")) {
+      const ServiceRun r =
+          RunService(db.get(), queries, producers,
+                     static_cast<size_t>(batch),
+                     std::chrono::microseconds(deadline_us));
+      std::printf("%8lld %12lld %10.1f %10.0f %12llu %14.2f\n",
+                  static_cast<long long>(batch),
+                  static_cast<long long>(deadline_us), r.wall_ms, r.qps,
+                  static_cast<unsigned long long>(r.batches),
+                  static_cast<double>(r.stats.TotalPageReads()) /
+                      static_cast<double>(queries.size()));
+    }
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace msq {
@@ -93,6 +94,46 @@ struct QueryStats {
 
   /// One-line human-readable rendering (for examples and debugging).
   std::string ToString() const;
+};
+
+/// Thread-safe QueryStats sink for concurrent execution paths.
+///
+/// The engines themselves charge a plain QueryStats* (single-threaded per
+/// engine); when batches run concurrently — BatchScheduler batches on the
+/// shared pool, cluster servers — each execution accumulates into a private
+/// QueryStats and merges it here once, so no raw counter is ever written
+/// from two threads.
+class AggregateStats {
+ public:
+  /// Merges one batch's (or server's) counters into the total.
+  void Add(const QueryStats& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += stats;
+    ++batches_merged_;
+  }
+
+  /// Consistent copy of the current total.
+  QueryStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  /// Number of Add() calls merged so far.
+  uint64_t batches_merged() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_merged_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ = QueryStats();
+    batches_merged_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  QueryStats total_;
+  uint64_t batches_merged_ = 0;
 };
 
 }  // namespace msq

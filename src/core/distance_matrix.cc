@@ -5,7 +5,7 @@
 
 namespace msq {
 
-void QueryDistanceCache::Prepare(const std::vector<Query>& queries,
+void QueryDistanceCache::Prepare(std::span<const Query> queries,
                                  const CountingMetric& metric,
                                  std::vector<uint32_t>* indices) {
   if (points_.size() > compact_threshold_) {
@@ -32,7 +32,7 @@ void QueryDistanceCache::Prepare(const std::vector<Query>& queries,
   }
 }
 
-void QueryDistanceCache::Compact(const std::vector<Query>& keep) {
+void QueryDistanceCache::Compact(std::span<const Query> keep) {
   std::unordered_set<QueryId> keep_ids;
   keep_ids.reserve(keep.size());
   for (const Query& q : keep) keep_ids.insert(q.id);

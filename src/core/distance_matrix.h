@@ -13,6 +13,7 @@
 #define MSQ_CORE_DISTANCE_MATRIX_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,7 +35,7 @@ class QueryDistanceCache {
   /// pairs (charged to `metric`'s stats sink as matrix distance
   /// computations). On return `indices->at(i)` is the cache index of
   /// queries[i] for use with Dist().
-  void Prepare(const std::vector<Query>& queries, const CountingMetric& metric,
+  void Prepare(std::span<const Query> queries, const CountingMetric& metric,
                std::vector<uint32_t>* indices);
 
   /// Distance between the query objects at cache indices a and b.
@@ -47,7 +48,7 @@ class QueryDistanceCache {
   void Clear();
 
  private:
-  void Compact(const std::vector<Query>& keep);
+  void Compact(std::span<const Query> keep);
 
   size_t compact_threshold_;
   std::unordered_map<QueryId, uint32_t> index_of_;

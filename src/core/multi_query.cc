@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "core/avoidance.h"
 
@@ -30,16 +31,17 @@ StatusOr<std::vector<AnswerSet>> MultiQueryEngine::ExecuteAll(
   // The shifting-window sequence of Sec. 5.1: [Q0..], [Q1..], ... — each
   // call completes its first query; the buffer carries partial answers and
   // accounted pages forward, and the distance cache carries the matrix.
-  std::vector<Query> window = queries;
+  // The window is a shrinking view into `queries`, not a copy popped from
+  // the front (which cost O(m^2) vector moves per batch).
+  const std::span<const Query> window(queries);
   for (size_t i = 0; i < queries.size(); ++i) {
-    MSQ_RETURN_IF_ERROR(
-        ExecuteInternal(window, stats, &all[i], /*result=*/nullptr));
-    window.erase(window.begin());
+    MSQ_RETURN_IF_ERROR(ExecuteInternal(window.subspan(i), stats, &all[i],
+                                        /*result=*/nullptr));
   }
   return all;
 }
 
-Status MultiQueryEngine::ExecuteInternal(const std::vector<Query>& queries,
+Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
                                          QueryStats* stats,
                                          AnswerSet* primary_answers,
                                          MultiQueryResult* result) {
@@ -58,7 +60,10 @@ Status MultiQueryEngine::ExecuteInternal(const std::vector<Query>& queries,
       return Status::InvalidArgument("query point is empty");
     }
   }
-  metric_.set_stats(stats);
+  // RAII: every return path below (GetOrCreate failure, duplicate ids,
+  // success) must detach `stats` from the long-lived metric, or the next
+  // call would charge work to a dangling pointer.
+  const ScopedStatsSink stats_scope(metric_, stats);
 
   const size_t m = queries.size();
 
@@ -234,7 +239,6 @@ Status MultiQueryEngine::ExecuteInternal(const std::vector<Query>& queries,
     }
   }
   buffer_.EnforceCapacity(pinned);
-  metric_.set_stats(nullptr);
   return Status::OK();
 }
 

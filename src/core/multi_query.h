@@ -12,6 +12,7 @@
 #define MSQ_CORE_MULTI_QUERY_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
@@ -74,11 +75,17 @@ class MultiQueryEngine {
 
   AnswerBuffer& buffer() { return buffer_; }
   const MultiQueryOptions& options() const { return options_; }
+  /// Introspection (tests): the counting metric. Its installed stats sink
+  /// must be null between calls — a non-null sink here is a dangling
+  /// pointer once the caller's QueryStats dies.
+  const CountingMetric& counting_metric() const { return metric_; }
 
  private:
   /// Shared implementation; fills `result` only when non-null (ExecuteAll
-  /// skips the copies of non-primary partial answers).
-  Status ExecuteInternal(const std::vector<Query>& queries, QueryStats* stats,
+  /// skips the copies of non-primary partial answers). Takes a span so
+  /// ExecuteAll's shifting window is a view into the caller's batch —
+  /// no per-call copies or O(m) front-pops.
+  Status ExecuteInternal(std::span<const Query> queries, QueryStats* stats,
                          AnswerSet* primary_answers, MultiQueryResult* result);
 
   QueryBackend* backend_;

@@ -52,6 +52,27 @@ class CountingMetric {
   QueryStats* stats_ = nullptr;
 };
 
+/// RAII installation of a stats sink: points `metric` at `stats` for the
+/// lifetime of the scope and restores the previous sink on destruction.
+/// Engines use this instead of paired set_stats(stats) / set_stats(nullptr)
+/// calls so that no early return can leave a dangling QueryStats* installed
+/// on a long-lived metric.
+class ScopedStatsSink {
+ public:
+  ScopedStatsSink(CountingMetric& metric, QueryStats* stats)
+      : metric_(metric), previous_(metric.stats()) {
+    metric_.set_stats(stats);
+  }
+  ~ScopedStatsSink() { metric_.set_stats(previous_); }
+
+  ScopedStatsSink(const ScopedStatsSink&) = delete;
+  ScopedStatsSink& operator=(const ScopedStatsSink&) = delete;
+
+ private:
+  CountingMetric& metric_;
+  QueryStats* previous_;
+};
+
 }  // namespace msq
 
 #endif  // MSQ_DIST_COUNTING_METRIC_H_

@@ -55,7 +55,9 @@
 #include "mtree/mtree.h"         // IWYU pragma: export
 #include "parallel/cluster.h"    // IWYU pragma: export
 #include "parallel/decluster.h"  // IWYU pragma: export
+#include "parallel/thread_pool.h"  // IWYU pragma: export
 #include "scan/linear_scan.h"    // IWYU pragma: export
+#include "service/batch_scheduler.h"  // IWYU pragma: export
 #include "scan/va_file.h"        // IWYU pragma: export
 #include "xtree/xtree.h"         // IWYU pragma: export
 

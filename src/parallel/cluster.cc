@@ -1,7 +1,7 @@
 #include "parallel/cluster.h"
 
 #include <algorithm>
-#include <thread>
+#include <functional>
 
 namespace msq {
 
@@ -23,7 +23,14 @@ StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
     if (!db.ok()) return db.status();
     cluster->servers_.push_back(std::move(db).value());
   }
-  cluster->use_threads_ = options.use_threads;
+  if (options.use_threads) {
+    if (options.shared_pool != nullptr) {
+      cluster->pool_ = options.shared_pool;
+    } else {
+      cluster->owned_pool_ = std::make_unique<ThreadPool>(options.num_servers);
+      cluster->pool_ = cluster->owned_pool_.get();
+    }
+  }
   return cluster;
 }
 
@@ -42,11 +49,13 @@ StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
     }
   };
 
-  if (use_threads_) {
-    std::vector<std::thread> threads;
-    threads.reserve(s);
-    for (size_t i = 0; i < s; ++i) threads.emplace_back(run_server, i);
-    for (auto& t : threads) t.join();
+  if (pool_ != nullptr) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(s);
+    for (size_t i = 0; i < s; ++i) {
+      tasks.push_back([&run_server, i] { run_server(i); });
+    }
+    pool_->RunAll(std::move(tasks));
   } else {
     for (size_t i = 0; i < s; ++i) run_server(i);
   }

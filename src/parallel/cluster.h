@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "core/database.h"
 #include "parallel/decluster.h"
+#include "parallel/thread_pool.h"
 
 namespace msq {
 
@@ -30,6 +31,12 @@ struct ClusterOptions {
   /// Run server queries on real threads (off: sequential execution; the
   /// modeled cost is identical, wall-clock differs).
   bool use_threads = true;
+  /// Pool to execute server queries on. Borrowed, must outlive the
+  /// cluster; lets one process-wide pool serve several clusters and the
+  /// BatchScheduler. When null (and use_threads), the cluster creates its
+  /// own pool of num_servers workers once at Create — per-call
+  /// std::thread spawning is gone either way.
+  ThreadPool* shared_pool = nullptr;
   uint64_t seed = 17;
 };
 
@@ -69,7 +76,8 @@ class SharedNothingCluster {
   std::vector<std::unique_ptr<MetricDatabase>> servers_;
   std::vector<std::vector<ObjectId>> partitions_;  // local id -> global id
   size_t dim_ = 0;
-  bool use_threads_ = true;
+  std::unique_ptr<ThreadPool> owned_pool_;  // set when no shared pool given
+  ThreadPool* pool_ = nullptr;              // null: sequential execution
 };
 
 }  // namespace msq

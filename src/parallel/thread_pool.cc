@@ -1,0 +1,94 @@
+#include "parallel/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace msq {
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: tasks submitted before the
+      // destructor are completed, never dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Shared by the wrapper tasks: they may still sit in the queue after
+  // RunAll returned (when the calling thread stole all the work), so the
+  // task set must be owned by the state, not borrowed from the stack.
+  struct State {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->tasks = std::move(tasks);
+  const size_t n = state->tasks.size();
+
+  auto run_one = [state, n] {
+    const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return false;
+    state->tasks[i]();
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->done;
+    }
+    state->cv.notify_all();
+    return true;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    Submit([run_one] { run_one(); });
+  }
+  // Help: execute tasks from the set on this thread until they are all
+  // claimed, then wait for the claimed ones to finish.
+  while (run_one()) {
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == n; });
+}
+
+}  // namespace msq

@@ -1,0 +1,62 @@
+// ThreadPool: the shared worker pool of the serving substrate.
+//
+// One fixed set of threads serves every concurrent consumer — the
+// BatchScheduler's batch executions and the SharedNothingCluster's
+// per-server queries — instead of each call spawning (and tearing down)
+// its own std::threads. Tasks are plain std::function<void()>; anything
+// that needs a result completes a promise or writes to caller-owned slots.
+
+#ifndef MSQ_PARALLEL_THREAD_POOL_H_
+#define MSQ_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msq {
+
+/// A fixed-size pool of worker threads with a FIFO task queue.
+///
+/// Thread-safe: Submit and RunAll may be called concurrently from any
+/// thread, including from a task already running on the pool (RunAll
+/// executes tasks on the calling thread too, so nested use cannot
+/// deadlock on pool capacity). The destructor completes every task that
+/// was submitted before it ran, then joins the workers.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` uses DefaultThreadCount().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs every task of the set and returns when all have finished. The
+  /// calling thread participates: it executes tasks from the set while it
+  /// waits, so RunAll is safe to call from inside a pool task.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency with a conservative fallback of 4.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_PARALLEL_THREAD_POOL_H_

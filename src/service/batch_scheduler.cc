@@ -1,0 +1,185 @@
+#include "service/batch_scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace msq {
+
+namespace {
+
+/// Two submissions name the same query iff id, point, and type all agree
+/// (QueryIds name query definitions — see AnswerBuffer::GetOrCreate).
+bool SameDefinition(const Query& a, const Query& b) {
+  return a.point == b.point && a.type.kind == b.type.kind &&
+         a.type.range == b.type.range &&
+         a.type.cardinality == b.type.cardinality;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
+                               const BatchSchedulerOptions& options,
+                               AggregateStats* stats_sink)
+    : engine_(engine),
+      pool_(pool),
+      options_(options),
+      stats_sink_(stats_sink) {
+  // A flushed batch must be admissible by the engine in one call.
+  options_.max_batch_size = std::clamp<size_t>(
+      options_.max_batch_size, 1, engine_->options().max_batch_size);
+  deadline_thread_ = std::thread([this] { DeadlineLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() { Shutdown(); }
+
+AnswerFuture BatchScheduler::Submit(Query query) {
+  std::promise<StatusOr<AnswerSet>> promise;
+  AnswerFuture future = promise.get_future();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++queries_submitted_;
+  if (shutdown_) {
+    promise.set_value(Status::ResourceExhausted("BatchScheduler is shut down"));
+    return future;
+  }
+  if (query.point.empty()) {
+    // Failing the one bad submission here keeps it from poisoning the
+    // whole batch inside the engine.
+    promise.set_value(Status::InvalidArgument("query point is empty"));
+    return future;
+  }
+  auto it = pending_index_.find(query.id);
+  if (it != pending_index_.end()) {
+    Pending& entry = pending_[it->second];
+    if (SameDefinition(entry.query, query)) {
+      entry.promises.push_back(std::move(promise));
+      ++queries_coalesced_;
+      return future;
+    }
+    promise.set_value(Status::InvalidArgument(
+        "query id " + std::to_string(query.id) +
+        " is already pending with a different definition"));
+    return future;
+  }
+  if (pending_.empty()) {
+    batch_open_time_ = std::chrono::steady_clock::now();
+    deadline_cv_.notify_all();
+  }
+  pending_index_.emplace(query.id, pending_.size());
+  Pending entry;
+  entry.query = std::move(query);
+  entry.promises.push_back(std::move(promise));
+  pending_.push_back(std::move(entry));
+  if (pending_.size() >= options_.max_batch_size ||
+      options_.flush_deadline.count() <= 0) {
+    FlushLocked();
+  }
+  return future;
+}
+
+void BatchScheduler::FlushLocked() {
+  if (pending_.empty()) return;
+  auto batch = std::make_shared<std::vector<Pending>>(std::move(pending_));
+  pending_.clear();
+  pending_index_.clear();
+  ++inflight_batches_;
+  pool_->Submit([this, batch] {
+    std::vector<Query> queries;
+    queries.reserve(batch->size());
+    for (const Pending& entry : *batch) queries.push_back(entry.query);
+
+    // The engine is single-threaded; batches racing for it line up here.
+    // Stats go to a private QueryStats first and into the shared sink in
+    // one merge, so concurrent batches never write the same counter.
+    QueryStats batch_stats;
+    auto answers = [&] {
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      return engine_->ExecuteAll(queries, &batch_stats);
+    }();
+    if (stats_sink_ != nullptr) stats_sink_->Add(batch_stats);
+
+    for (size_t i = 0; i < batch->size(); ++i) {
+      for (std::promise<StatusOr<AnswerSet>>& p : (*batch)[i].promises) {
+        if (answers.ok()) {
+          p.set_value((*answers)[i]);
+        } else {
+          // A failed batch fails every waiter with the batch's status.
+          p.set_value(answers.status());
+        }
+      }
+    }
+    // Notify under the lock: once the waiter observes inflight == 0 the
+    // scheduler may be destroyed, so nothing may touch *this afterwards.
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_batches_;
+    ++batches_executed_;
+    done_cv_.notify_all();
+  });
+}
+
+void BatchScheduler::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+}
+
+void BatchScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushLocked();
+  done_cv_.wait(lock,
+                [this] { return pending_.empty() && inflight_batches_ == 0; });
+}
+
+void BatchScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    FlushLocked();
+  }
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_deadline_thread_ = true;
+  }
+  deadline_cv_.notify_all();
+  if (deadline_thread_.joinable()) deadline_thread_.join();
+}
+
+void BatchScheduler::DeadlineLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_deadline_thread_) {
+    if (pending_.empty() || options_.flush_deadline.count() <= 0) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const auto deadline = batch_open_time_ + options_.flush_deadline;
+    if (deadline_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !pending_.empty() &&
+        std::chrono::steady_clock::now() >=
+            batch_open_time_ + options_.flush_deadline) {
+      FlushLocked();
+    }
+  }
+}
+
+size_t BatchScheduler::pending_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+uint64_t BatchScheduler::queries_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_submitted_;
+}
+
+uint64_t BatchScheduler::queries_coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_coalesced_;
+}
+
+uint64_t BatchScheduler::batches_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_executed_;
+}
+
+}  // namespace msq

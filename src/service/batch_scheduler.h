@@ -1,0 +1,139 @@
+// BatchScheduler: the admission layer that turns a concurrent stream of
+// single similarity queries into well-formed multiple similarity queries.
+//
+// The paper's entire win comes from batching — one page read is amortized
+// across every query it is relevant to (Sec. 5.1) and one query-distance
+// matrix across the whole batch (Sec. 5.2) — but the engine only accepts
+// pre-formed batches. The scheduler provides the missing front half: many
+// client threads Submit() individual queries and get a future each; the
+// scheduler accumulates the stream into a batch and flushes it when the
+// batch is full, when the oldest pending query has waited flush_deadline,
+// or on explicit Flush()/Drain(). Each flushed batch executes on a shared
+// ThreadPool via MultiQueryEngine::ExecuteAll (the shifting-window
+// sequence of ExploreNeighborhoodsMultiple), so producers never block on
+// query execution.
+//
+// Batching policy:
+//  - A query whose id is already pending with the *same* point and type is
+//    coalesced: both waiters receive the one answer, the engine sees the
+//    query once.
+//  - A query whose id is pending with a *different* definition fails
+//    immediately (QueryIds name query definitions), without poisoning the
+//    batch its namesake rides in.
+//  - A failed batch propagates its Status to every waiter of the batch.
+
+#ifndef MSQ_SERVICE_BATCH_SCHEDULER_H_
+#define MSQ_SERVICE_BATCH_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/multi_query.h"
+#include "core/query.h"
+#include "parallel/thread_pool.h"
+
+namespace msq {
+
+struct BatchSchedulerOptions {
+  /// Flush when this many distinct queries are pending. Clamped to the
+  /// engine's MultiQueryOptions::max_batch_size.
+  size_t max_batch_size = 32;
+  /// Flush when the oldest pending query has waited this long. Zero means
+  /// every submission flushes immediately (no batching, lowest latency).
+  std::chrono::microseconds flush_deadline{2000};
+};
+
+/// Completion handle of one submitted query: the complete answer set, or
+/// the Status of the batch (or submission) that failed it.
+using AnswerFuture = std::future<StatusOr<AnswerSet>>;
+
+/// Thread-safe batch-admission service over one MultiQueryEngine.
+///
+/// `engine` and `pool` are borrowed and must outlive the scheduler. The
+/// engine is not thread-safe, so the scheduler serializes batch executions
+/// on it with an internal mutex; the pool's value is that producers are
+/// decoupled from execution and that one pool serves every scheduler and
+/// cluster in the process. Per-batch QueryStats are merged into the
+/// optional AggregateStats sink without data races.
+class BatchScheduler {
+ public:
+  BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
+                 const BatchSchedulerOptions& options,
+                 AggregateStats* stats_sink = nullptr);
+  /// Drains pending work, then stops.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Admits one query. The future completes with the query's full answer
+  /// set once the batch it rides in has executed. Invalid submissions
+  /// (empty point, id clashing with a differently-defined pending query,
+  /// submission after Shutdown) fail the returned future immediately.
+  AnswerFuture Submit(Query query);
+
+  /// Hands the currently pending batch to the pool (no-op when empty).
+  void Flush();
+
+  /// Flushes and blocks until every admitted query has completed.
+  void Drain();
+
+  /// Drains, then rejects all further submissions.
+  void Shutdown();
+
+  // --- introspection (for tests and benches) ---------------------------
+  size_t pending_size() const;
+  uint64_t queries_submitted() const;
+  /// Submissions answered by an already-pending identical query.
+  uint64_t queries_coalesced() const;
+  uint64_t batches_executed() const;
+  const BatchSchedulerOptions& options() const { return options_; }
+
+ private:
+  /// One pending query and everyone waiting on it.
+  struct Pending {
+    Query query;
+    std::vector<std::promise<StatusOr<AnswerSet>>> promises;
+  };
+
+  /// Requires mu_ held. Moves the pending batch to the pool.
+  void FlushLocked();
+  void DeadlineLoop();
+
+  MultiQueryEngine* engine_;
+  ThreadPool* pool_;
+  BatchSchedulerOptions options_;
+  AggregateStats* stats_sink_;
+
+  /// Serializes ExecuteAll calls on the (non-thread-safe) engine.
+  std::mutex engine_mu_;
+
+  mutable std::mutex mu_;
+  std::vector<Pending> pending_;
+  std::unordered_map<QueryId, size_t> pending_index_;
+  std::chrono::steady_clock::time_point batch_open_time_;
+  size_t inflight_batches_ = 0;
+  bool shutdown_ = false;
+  bool stop_deadline_thread_ = false;
+  uint64_t queries_submitted_ = 0;
+  uint64_t queries_coalesced_ = 0;
+  uint64_t batches_executed_ = 0;
+
+  /// Wakes the deadline thread (new batch opened / shutdown).
+  std::condition_variable deadline_cv_;
+  /// Signals batch completion (Drain waiters).
+  std::condition_variable done_cv_;
+  std::thread deadline_thread_;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_SERVICE_BATCH_SCHEDULER_H_

@@ -354,6 +354,80 @@ TEST(MultiQueryEngineTest, ResetAllForgetsBufferedAnswers) {
   EXPECT_GT(db->stats().dist_computations, 0u);
 }
 
+TEST(MultiQueryEngineTest, FailedExecuteDetachesStatsSink) {
+  // Regression: the error paths of ExecuteInternal (duplicate ids,
+  // GetOrCreate failure) used to return without resetting the metric's
+  // stats sink, leaving a pointer to the caller's (possibly dead)
+  // QueryStats installed on the long-lived engine.
+  auto db = OpenScanDb(MakeUniformDataset(300, 4, 401));
+  MultiQueryEngine& engine = db->engine();
+  {
+    QueryStats doomed;  // dies at the end of this scope
+    std::vector<Query> dup{db->MakeObjectKnnQuery(1, 3),
+                           db->MakeObjectKnnQuery(1, 3)};
+    ASSERT_FALSE(engine.Execute(dup, &doomed).ok());
+    EXPECT_EQ(engine.counting_metric().stats(), nullptr)
+        << "failed Execute left a stats sink installed";
+  }
+  // GetOrCreate failure path: id 5 buffered as kNN(4), re-submitted with a
+  // different cardinality.
+  ASSERT_TRUE(engine.Execute({db->MakeObjectKnnQuery(5, 4)}, nullptr).ok());
+  {
+    QueryStats doomed;
+    ASSERT_FALSE(engine.Execute({db->MakeObjectKnnQuery(5, 9)}, &doomed).ok());
+    EXPECT_EQ(engine.counting_metric().stats(), nullptr);
+  }
+}
+
+TEST(MultiQueryEngineTest, FailedExecuteDoesNotPoisonLaterStats) {
+  // The companion observable: a failed call's stats object must not
+  // receive any charges from a subsequent successful call.
+  auto db = OpenScanDb(MakeUniformDataset(300, 4, 403));
+  MultiQueryEngine& engine = db->engine();
+  QueryStats failed_stats;
+  std::vector<Query> dup{db->MakeObjectKnnQuery(2, 3),
+                         db->MakeObjectKnnQuery(2, 3)};
+  ASSERT_FALSE(engine.Execute(dup, &failed_stats).ok());
+  const uint64_t dists_after_failure = failed_stats.dist_computations;
+
+  QueryStats ok_stats;
+  ASSERT_TRUE(engine.Execute({db->MakeObjectKnnQuery(3, 3)}, &ok_stats).ok());
+  EXPECT_GT(ok_stats.dist_computations, 0u);
+  EXPECT_EQ(failed_stats.dist_computations, dists_after_failure)
+      << "successful call charged work to the failed call's stats";
+}
+
+TEST(MultiQueryEngineTest, ExecuteAllMatchesManualShiftingWindow) {
+  // Regression for the O(m^2) window fix: ExecuteAll's span-based sliding
+  // window must do exactly what the copy-and-pop-front loop did — same
+  // answers AND same charged work.
+  Dataset dataset = MakeGaussianClustersDataset(1000, 5, 6, 0.05, 405);
+  auto db_all = OpenScanDb(dataset);
+  auto db_manual = OpenScanDb(dataset);
+  const auto queries = RandomObjectKnnBatch(db_all.get(), 18, 7, 407);
+
+  auto all = db_all->MultipleSimilarityQueryAll(queries);
+  ASSERT_TRUE(all.ok());
+
+  std::vector<Query> window = queries;  // the old path, spelled out
+  std::vector<AnswerSet> manual;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto result = db_manual->MultipleSimilarityQuery(window);
+    ASSERT_TRUE(result.ok());
+    manual.push_back(result->answers[0]);
+    window.erase(window.begin());
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*all)[i], manual[i])) << "query " << i;
+  }
+  const QueryStats& a = db_all->stats();
+  const QueryStats& b = db_manual->stats();
+  EXPECT_EQ(a.TotalPageReads(), b.TotalPageReads());
+  EXPECT_EQ(a.dist_computations, b.dist_computations);
+  EXPECT_EQ(a.matrix_dist_computations, b.matrix_dist_computations);
+}
+
 TEST(MultiQueryEngineTest, BufferEvictionKeepsResultsCorrect) {
   Dataset dataset = MakeUniformDataset(700, 5, 339);
   MultiQueryOptions multi;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -13,6 +14,7 @@
 #include "dist/builtin_metrics.h"
 #include "parallel/cluster.h"
 #include "parallel/decluster.h"
+#include "parallel/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace msq {
@@ -183,6 +185,40 @@ TEST(ParallelTest, ThreadedAndSequentialExecutionAgree) {
   // The modeled cost is execution-order independent.
   EXPECT_DOUBLE_EQ((*threaded)->ModeledElapsedMillis(),
                    (*sequential)->ModeledElapsedMillis());
+}
+
+TEST(ParallelTest, ClustersShareOneThreadPool) {
+  // Two clusters on one process-wide pool, queried from two threads at
+  // once: answers must stay correct with far fewer workers than the total
+  // server count (RunAll interleaves both clusters' server tasks).
+  Dataset dataset = MakeUniformDataset(1000, 5, 817);
+  auto metric = std::make_shared<EuclideanMetric>();
+  ThreadPool pool(2);
+  ClusterOptions options = MakeClusterOptions(4, BackendKind::kLinearScan);
+  options.shared_pool = &pool;
+  auto cluster_a = SharedNothingCluster::Create(dataset, metric, options);
+  auto cluster_b = SharedNothingCluster::Create(dataset, metric, options);
+  ASSERT_TRUE(cluster_a.ok());
+  ASSERT_TRUE(cluster_b.ok());
+
+  const auto queries_a = GlobalKnnQueries(dataset, 8, 5, 75);
+  const auto queries_b = GlobalKnnQueries(dataset, 8, 7, 77);
+  StatusOr<std::vector<AnswerSet>> got_a = Status::Internal("unset");
+  StatusOr<std::vector<AnswerSet>> got_b = Status::Internal("unset");
+  std::thread ta([&] { got_a = (*cluster_a)->ExecuteMultipleAll(queries_a); });
+  std::thread tb([&] { got_b = (*cluster_b)->ExecuteMultipleAll(queries_b); });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(got_a.ok()) << got_a.status().ToString();
+  ASSERT_TRUE(got_b.ok()) << got_b.status().ToString();
+  for (size_t i = 0; i < queries_a.size(); ++i) {
+    EXPECT_TRUE(SameAnswers(
+        (*got_a)[i], BruteForceQuery(dataset, *metric, queries_a[i])));
+  }
+  for (size_t i = 0; i < queries_b.size(); ++i) {
+    EXPECT_TRUE(SameAnswers(
+        (*got_b)[i], BruteForceQuery(dataset, *metric, queries_b[i])));
+  }
 }
 
 TEST(ParallelTest, PerServerIoShrinksWithServerCount) {

@@ -1,0 +1,350 @@
+// Tests of the batch-admission service: answers from concurrently
+// submitted single queries must be identical to sequential single-query
+// execution, failed batches must propagate their Status to every waiter,
+// and the flush policy (size / deadline / drain) must complete every
+// admitted query.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "parallel/thread_pool.h"
+#include "service/batch_scheduler.h"
+#include "tests/test_util.h"
+
+namespace msq {
+namespace {
+
+using testing::BruteForceQuery;
+using testing::SameAnswers;
+
+std::unique_ptr<MetricDatabase> OpenScanDb(Dataset dataset,
+                                           MultiQueryOptions multi = {}) {
+  DatabaseOptions options;
+  options.backend = BackendKind::kLinearScan;
+  options.page_size_bytes = 2048;
+  options.multi = multi;
+  auto db = MetricDatabase::Open(std::move(dataset),
+                                 std::make_shared<EuclideanMetric>(), options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+/// Deterministic mixed range/kNN query stream with distinct fresh ids
+/// (above the MetricDatabase fresh-id floor so nothing collides).
+std::vector<Query> MixedQueryStream(const Dataset& ds, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Query q;
+    q.id = (static_cast<QueryId>(1) << 40) + i;
+    q.point = ds.object(static_cast<ObjectId>(rng.NextIndex(ds.size())));
+    if (i % 2 == 0) {
+      q.type = QueryType::Knn(1 + rng.NextIndex(10));
+    } else {
+      q.type = QueryType::Range(rng.NextDouble(0.05, 0.4));
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// The acceptance stress test: >= 10k mixed queries from >= 4 producer
+// threads, answers identical to sequential single-query execution.
+TEST(BatchSchedulerTest, StressAnswersMatchSequentialSingleQueries) {
+  constexpr size_t kQueries = 10000;
+  constexpr size_t kProducers = 4;
+  Dataset dataset = MakeUniformDataset(500, 4, 901);
+  auto db = OpenScanDb(dataset);
+  const std::vector<Query> queries = MixedQueryStream(dataset, kQueries, 903);
+
+  // Sequential oracle: the same queries one by one on an identical db.
+  auto oracle_db = OpenScanDb(dataset);
+  std::vector<AnswerSet> expected(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto got = oracle_db->SimilarityQuery(queries[i]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    expected[i] = std::move(got).value();
+  }
+
+  ThreadPool pool(4);
+  AggregateStats sink;
+  BatchSchedulerOptions options;
+  options.max_batch_size = 50;
+  options.flush_deadline = std::chrono::microseconds(500);
+  BatchScheduler scheduler(&db->engine(), &pool, options, &sink);
+
+  std::vector<AnswerFuture> futures(kQueries);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = p; i < kQueries; i += kProducers) {
+        futures[i] = scheduler.Submit(queries[i]);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  scheduler.Drain();
+
+  for (size_t i = 0; i < kQueries; ++i) {
+    auto got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << "query " << i << ": " << got.status().ToString();
+    EXPECT_TRUE(SameAnswers(*got, expected[i])) << "query " << i;
+  }
+  EXPECT_EQ(scheduler.queries_submitted(), kQueries);
+  // Every admitted query completed exactly once across all batches.
+  EXPECT_EQ(sink.Snapshot().queries_completed, kQueries);
+  EXPECT_EQ(sink.batches_merged(), scheduler.batches_executed());
+}
+
+TEST(BatchSchedulerTest, FailedBatchPropagatesStatusToEveryWaiter) {
+  Dataset dataset = MakeUniformDataset(300, 4, 905);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.flush_deadline = std::chrono::seconds(10);  // manual flushes only
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  // Complete query id 42 so the engine buffers its definition.
+  Query original{42, dataset.object(0), QueryType::Knn(3)};
+  auto first = scheduler.Submit(original);
+  scheduler.Drain();
+  ASSERT_TRUE(first.get().ok());
+
+  // Re-submitting id 42 with a different point is only detectable by the
+  // engine (it is no longer pending), so the whole batch it rides in
+  // fails — and every waiter of that batch must see the batch's status.
+  Query poisoned{42, dataset.object(1), QueryType::Knn(3)};
+  auto f1 = scheduler.Submit(poisoned);
+  auto f2 = scheduler.Submit(Query{43, dataset.object(2), QueryType::Knn(3)});
+  auto f3 = scheduler.Submit(Query{44, dataset.object(3), QueryType::Range(0.2)});
+  scheduler.Drain();
+
+  auto r1 = f1.get();
+  auto r2 = f2.get();
+  auto r3 = f3.get();
+  EXPECT_TRUE(r1.status().IsInvalidArgument());
+  EXPECT_TRUE(r2.status().IsInvalidArgument());
+  EXPECT_TRUE(r3.status().IsInvalidArgument());
+  EXPECT_EQ(r1.status(), r2.status());
+  EXPECT_EQ(r1.status(), r3.status());
+
+  // The scheduler stays serviceable after a failed batch.
+  auto ok = scheduler.Submit(Query{45, dataset.object(4), QueryType::Knn(2)});
+  scheduler.Drain();
+  EXPECT_TRUE(ok.get().ok());
+}
+
+TEST(BatchSchedulerTest, ConflictingPendingSubmissionFailsAlone) {
+  Dataset dataset = MakeUniformDataset(300, 4, 907);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.flush_deadline = std::chrono::seconds(10);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto good = scheduler.Submit(Query{7, dataset.object(0), QueryType::Knn(3)});
+  // Same id, different point, while the first is still pending: rejected
+  // at admission, the pending batch is unharmed.
+  auto clash = scheduler.Submit(Query{7, dataset.object(1), QueryType::Knn(3)});
+  auto clash_result = clash.get();  // fails immediately, no flush needed
+  EXPECT_TRUE(clash_result.status().IsInvalidArgument());
+
+  scheduler.Drain();
+  auto good_result = good.get();
+  ASSERT_TRUE(good_result.ok()) << good_result.status().ToString();
+  EuclideanMetric metric;
+  EXPECT_TRUE(SameAnswers(
+      *good_result,
+      BruteForceQuery(dataset, metric,
+                      Query{7, dataset.object(0), QueryType::Knn(3)})));
+}
+
+TEST(BatchSchedulerTest, IdenticalPendingSubmissionsAreCoalesced) {
+  Dataset dataset = MakeUniformDataset(300, 4, 909);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.flush_deadline = std::chrono::seconds(10);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  const Query q{11, dataset.object(5), QueryType::Knn(4)};
+  auto f1 = scheduler.Submit(q);
+  auto f2 = scheduler.Submit(q);
+  EXPECT_EQ(scheduler.pending_size(), 1u);
+  EXPECT_EQ(scheduler.queries_coalesced(), 1u);
+  scheduler.Drain();
+  auto r1 = f1.get();
+  auto r2 = f2.get();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(SameAnswers(*r1, *r2));
+  EXPECT_EQ(scheduler.batches_executed(), 1u);
+}
+
+TEST(BatchSchedulerTest, EmptyPointFailsImmediatelyWithoutPoisoningBatch) {
+  Dataset dataset = MakeUniformDataset(200, 4, 911);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.flush_deadline = std::chrono::seconds(10);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto good = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  auto bad = scheduler.Submit(Query{2, Vec{}, QueryType::Knn(2)});
+  EXPECT_TRUE(bad.get().status().IsInvalidArgument());
+  scheduler.Drain();
+  EXPECT_TRUE(good.get().ok());
+}
+
+TEST(BatchSchedulerTest, DeadlineFlushCompletesWithoutExplicitFlush) {
+  Dataset dataset = MakeUniformDataset(200, 4, 913);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1000;  // never size-triggered
+  options.flush_deadline = std::chrono::microseconds(1000);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto f = scheduler.Submit(Query{1, dataset.object(3), QueryType::Knn(3)});
+  // No Flush()/Drain(): only the deadline can complete this future.
+  auto result = f.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(BatchSchedulerTest, ZeroDeadlineFlushesEverySubmissionImmediately) {
+  Dataset dataset = MakeUniformDataset(200, 4, 915);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1000;
+  options.flush_deadline = std::chrono::microseconds(0);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto f1 = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  auto f2 = scheduler.Submit(Query{2, dataset.object(1), QueryType::Knn(2)});
+  EXPECT_EQ(scheduler.pending_size(), 0u);  // flushed at submit time
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.batches_executed(), 2u);
+}
+
+TEST(BatchSchedulerTest, SizeTriggeredFlushDoesNotWaitForDeadline) {
+  Dataset dataset = MakeUniformDataset(200, 4, 917);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 2;
+  options.flush_deadline = std::chrono::seconds(60);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto f1 = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  auto f2 = scheduler.Submit(Query{2, dataset.object(1), QueryType::Knn(2)});
+  // The second submission fills the batch; both futures complete without
+  // any explicit flush and far before the 60 s deadline.
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+TEST(BatchSchedulerTest, SubmitAfterShutdownFailsFast) {
+  Dataset dataset = MakeUniformDataset(200, 4, 919);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchScheduler scheduler(&db->engine(), &pool, {});
+  scheduler.Shutdown();
+  auto f = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  EXPECT_TRUE(f.get().status().IsResourceExhausted());
+}
+
+TEST(BatchSchedulerTest, MaxBatchSizeIsClampedToEngineLimit) {
+  Dataset dataset = MakeUniformDataset(200, 4, 921);
+  MultiQueryOptions multi;
+  multi.max_batch_size = 8;
+  auto db = OpenScanDb(dataset, multi);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 100;  // larger than the engine accepts
+  options.flush_deadline = std::chrono::seconds(10);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+  EXPECT_EQ(scheduler.options().max_batch_size, 8u);
+
+  // 20 quick submissions: no batch may exceed the engine limit, so all
+  // queries still succeed (an unclamped scheduler would get the whole
+  // batch rejected with ResourceExhausted).
+  std::vector<AnswerFuture> futures;
+  for (uint64_t i = 0; i < 20; ++i) {
+    futures.push_back(scheduler.Submit(
+        Query{100 + i, dataset.object(static_cast<ObjectId>(i)),
+              QueryType::Knn(2)}));
+  }
+  scheduler.Drain();
+  for (auto& f : futures) {
+    auto r = f.get();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+TEST(BatchSchedulerTest, AggregateStatsMergesEveryBatch) {
+  Dataset dataset = MakeUniformDataset(400, 4, 923);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  AggregateStats sink;
+  BatchSchedulerOptions options;
+  options.max_batch_size = 4;
+  options.flush_deadline = std::chrono::seconds(10);
+  BatchScheduler scheduler(&db->engine(), &pool, options, &sink);
+
+  const auto queries = MixedQueryStream(dataset, 12, 925);
+  std::vector<AnswerFuture> futures;
+  for (const Query& q : queries) futures.push_back(scheduler.Submit(q));
+  scheduler.Drain();
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  const QueryStats total = sink.Snapshot();
+  EXPECT_EQ(total.queries_completed, queries.size());
+  EXPECT_GT(total.dist_computations, 0u);
+  EXPECT_GT(total.TotalPageReads(), 0u);
+  EXPECT_EQ(sink.batches_merged(), 3u);  // 12 queries / batches of 4
+  sink.Reset();
+  EXPECT_EQ(sink.Snapshot().queries_completed, 0u);
+  EXPECT_EQ(sink.batches_merged(), 0u);
+}
+
+TEST(BatchSchedulerTest, DestructorDrainsOutstandingWork) {
+  Dataset dataset = MakeUniformDataset(300, 4, 927);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  std::vector<AnswerFuture> futures;
+  {
+    BatchSchedulerOptions options;
+    options.max_batch_size = 100;
+    options.flush_deadline = std::chrono::seconds(10);
+    BatchScheduler scheduler(&db->engine(), &pool, options);
+    for (uint64_t i = 0; i < 5; ++i) {
+      futures.push_back(scheduler.Submit(
+          Query{200 + i, dataset.object(static_cast<ObjectId>(i)),
+                QueryType::Knn(2)}));
+    }
+  }  // destructor must flush and complete all 5
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+}  // namespace
+}  // namespace msq

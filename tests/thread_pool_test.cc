@@ -1,0 +1,106 @@
+// Tests of the shared worker pool: task completion guarantees, the
+// blocking RunAll barrier (including nested use from inside a pool task),
+// and destructor drain semantics.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.h"
+
+namespace msq {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsUsesDefaultCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreadCount());
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunAllIsABarrier) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.RunAll(std::move(tasks));
+  // No sleep/sync needed: RunAll returns only when all tasks finished.
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, RunAllWithEmptyTaskSetReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.RunAll({});  // must not hang or touch workers
+}
+
+TEST(ThreadPoolTest, NestedRunAllFromPoolTaskDoesNotDeadlock) {
+  // A pool task issuing RunAll must not deadlock even when the inner task
+  // set exceeds the worker count: the caller helps execute its own set.
+  ThreadPool pool(1);
+  std::atomic<int> inner_count{0};
+  std::vector<std::function<void()>> outer;
+  outer.push_back([&pool, &inner_count] {
+    std::vector<std::function<void()>> inner;
+    for (int i = 0; i < 8; ++i) {
+      inner.push_back([&inner_count] { inner_count.fetch_add(1); });
+    }
+    pool.RunAll(std::move(inner));
+  });
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(inner_count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ConcurrentRunAllCallsFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 6; ++c) {
+    callers.emplace_back([&pool, &count] {
+      std::vector<std::function<void()>> tasks;
+      for (int i = 0; i < 50; ++i) {
+        tasks.push_back([&count] { count.fetch_add(1); });
+      }
+      pool.RunAll(std::move(tasks));
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(count.load(), 6 * 50);
+}
+
+TEST(ThreadPoolTest, TasksRunOffTheSubmittingThread) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::thread::id task_thread;
+  pool.Submit([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    task_thread = std::this_thread::get_id();
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_NE(task_thread, std::this_thread::get_id());
+}
+
+}  // namespace
+}  // namespace msq
