@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   const size_t max_m = static_cast<size_t>(
       *std::max_element(m_values.begin(), m_values.end()));
 
+  BenchJsonWriter json(flags.GetString("json"));
   for (const Workload& w : workloads) {
     PrintHeader("Figure 7: " + w.name, "io ms/query");
     double scan_m1 = 0.0, xtree_m1 = 0.0, scan_last = 0.0, xtree_last = 0.0;
@@ -44,6 +45,11 @@ int main(int argc, char** argv) {
       auto db = OpenBenchDb(w, backend, max_m);
       for (int64_t m : m_values) {
         const RunResult r = RunBlocks(db.get(), w, static_cast<size_t>(m));
+        json.BeginRecord("fig07_io_cost");
+        json.Str("workload", w.name);
+        json.Str("backend", BackendKindName(backend));
+        json.Int("m", m);
+        json.AddRunResult(r);
         std::printf("%-12s %-12s %6lld  %12.2f   (%.1f pages/query: %.2f rnd, %.2f seq, %.2f buffered)\n",
                     w.name.c_str(), BackendKindName(backend).c_str(),
                     static_cast<long long>(m), r.io_ms_per_query,

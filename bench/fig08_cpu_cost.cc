@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   const size_t max_m = static_cast<size_t>(
       *std::max_element(m_values.begin(), m_values.end()));
 
+  BenchJsonWriter json(flags.GetString("json"));
   for (const Workload& w : workloads) {
     PrintHeader("Figure 8: " + w.name, "cpu ms/query");
     for (BackendKind backend :
@@ -46,6 +47,11 @@ int main(int argc, char** argv) {
       auto db = OpenBenchDb(w, backend, max_m);
       for (int64_t m : m_values) {
         const RunResult r = RunBlocks(db.get(), w, static_cast<size_t>(m));
+        json.BeginRecord("fig08_cpu_cost");
+        json.Str("workload", w.name);
+        json.Str("backend", BackendKindName(backend));
+        json.Int("m", m);
+        json.AddRunResult(r);
         std::printf("%-12s %-12s %6lld  %12.2f   (%.0f dists/query, %.0f tries, %.0f avoided)\n",
                     w.name.c_str(), BackendKindName(backend).c_str(),
                     static_cast<long long>(m), r.cpu_ms_per_query,

@@ -83,6 +83,10 @@ int main(int argc, char** argv) {
   flags.Define("deadline_us_values", "0,500,2000,10000",
                "flush deadlines (microseconds) to sweep");
   flags.Define("backend", "linear_scan", "linear_scan|xtree|mtree|va_file");
+  flags.Define("json", "",
+               "write one JSON record per configuration to this file");
+  flags.Define("metrics_dump", "",
+               "write Prometheus metrics text here after the sweep");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
@@ -125,6 +129,7 @@ int main(int argc, char** argv) {
   std::printf("service throughput — %s, n=%zu, %zu queries, %zu producers, "
               "k=%zu\n", BackendKindName(backend).c_str(), n, queries.size(),
               producers, k);
+  BenchJsonWriter json(flags.GetString("json"));
   std::printf("%8s %12s %10s %10s %12s %14s\n", "batch", "deadline_us",
               "wall_ms", "qps", "batches", "pages/query");
   for (int64_t batch : flags.GetIntList("batch_values")) {
@@ -139,7 +144,35 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.batches),
                   static_cast<double>(r.stats.TotalPageReads()) /
                       static_cast<double>(queries.size()));
+      json.BeginRecord("service_throughput");
+      json.Str("backend", BackendKindName(backend));
+      json.Int("n", static_cast<int64_t>(n));
+      json.Int("num_queries", static_cast<int64_t>(queries.size()));
+      json.Int("producers", static_cast<int64_t>(producers));
+      json.Int("k", static_cast<int64_t>(k));
+      json.Int("batch", batch);
+      json.Int("deadline_us", deadline_us);
+      json.Num("wall_ms", r.wall_ms);
+      json.Num("qps", r.qps);
+      json.Int("batches", static_cast<int64_t>(r.batches));
+      json.AddQueryStats(r.stats);
     }
+  }
+  if (Status s = json.Write(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::string dump = flags.GetString("metrics_dump");
+  if (!dump.empty()) {
+    const std::string text =
+        obs::MetricsRegistry::Global()->RenderPrometheusText();
+    std::FILE* f = std::fopen(dump.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", dump.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
   }
   return 0;
 }

@@ -21,10 +21,14 @@ int main(int argc, char** argv) {
   flags.Define("clients", "4", "client threads");
   flags.Define("queries_per_client", "100", "queries each client submits");
   flags.Define("k", "10", "kNN cardinality");
+  flags.Define("trace_out", "service_trace.json",
+               "Chrome trace file written on exit (empty = no tracing)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
   }
+  const std::string trace_out = flags.GetString("trace_out");
+  if (!trace_out.empty()) obs::Tracer::Global()->Enable();
   const size_t n = static_cast<size_t>(flags.GetInt("n"));
   const size_t clients = static_cast<size_t>(flags.GetInt("clients"));
   const size_t per_client =
@@ -86,5 +90,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(scheduler.batches_executed()),
               static_cast<unsigned long long>(scheduler.queries_coalesced()));
   std::printf("engine totals: %s\n", total.ToString().c_str());
+
+  // Everything above also flowed into the process-global registry (the
+  // scheduler, pool, engine and buffer pool all default to it) — dump the
+  // live metrics snapshot and the batch timeline.
+  std::printf("\n--- metrics snapshot (Prometheus text) ---\n%s",
+              obs::MetricsRegistry::Global()->RenderPrometheusText().c_str());
+  if (!trace_out.empty()) {
+    obs::Tracer* tracer = obs::Tracer::Global();
+    tracer->Disable();
+    if (Status s = tracer->WriteChromeTrace(trace_out); !s.ok()) {
+      std::printf("trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
+                tracer->size(), trace_out.c_str());
+  }
   return 0;
 }

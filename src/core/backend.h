@@ -19,6 +19,10 @@
 
 namespace msq {
 
+namespace obs {
+class MetricsSink;
+}  // namespace obs
+
 /// One candidate data page with a lower bound on the distance from the
 /// primary query object to any object stored on it.
 struct PageCandidate {
@@ -85,6 +89,11 @@ class QueryBackend {
   /// Clears buffer-pool content and the simulated disk head position so
   /// experiments start from a cold, reproducible state.
   virtual void ResetIoState() = 0;
+
+  /// Attaches an observability sink to the backend's storage side (buffer
+  /// pool hit/miss/eviction counters). Default: no-op, for backends (and
+  /// test fakes) without metered storage.
+  virtual void SetMetricsSink(const obs::MetricsSink* /*sink*/) {}
 };
 
 }  // namespace msq

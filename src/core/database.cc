@@ -84,6 +84,8 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
   }
   db->engine_ = std::make_unique<MultiQueryEngine>(db->backend_.get(), metric,
                                                    options.multi);
+  // The storage side (buffer pool) shares the engine's observability sink.
+  db->backend_->SetMetricsSink(options.multi.metrics);
   return db;
 }
 
@@ -112,7 +114,25 @@ Query MetricDatabase::MakeObjectRangeQuery(ObjectId id, double eps) const {
 
 StatusOr<AnswerSet> MetricDatabase::SimilarityQuery(const Query& query) {
   CountingMetric counted(metric_);
-  return ExecuteSingleQuery(backend_.get(), counted, query, &stats_);
+  // The single-query engine does not publish metrics itself (the multiple-
+  // query engine does); bridge its stats delta to the registry here so
+  // both operations export through the same pipeline.
+  const QueryStats before = stats_;
+  const obs::MetricsSink* sink = options_.multi.metrics;
+  obs::ScopedSpan span(sink != nullptr ? sink->tracer() : nullptr,
+                       "engine.single_query", "engine");
+  auto result = ExecuteSingleQuery(backend_.get(), counted, query, &stats_);
+  if (span.active()) {
+    span.AddArg("dists",
+                static_cast<double>(stats_.dist_computations -
+                                    before.dist_computations));
+    span.AddArg("pages", static_cast<double>(stats_.TotalPageReads() -
+                                             before.TotalPageReads()));
+  }
+  if (sink != nullptr) {
+    sink->PublishQueryStats(stats_ - before);
+  }
+  return result;
 }
 
 StatusOr<MultiQueryResult> MetricDatabase::MultipleSimilarityQuery(

@@ -5,6 +5,7 @@
 #include <limits>
 #include <span>
 
+#include "common/timer.h"
 #include "core/avoidance.h"
 
 namespace msq {
@@ -16,7 +17,22 @@ MultiQueryEngine::MultiQueryEngine(QueryBackend* backend,
       metric_(std::move(metric)),
       options_(options),
       buffer_(options.buffer_capacity),
-      qq_cache_(/*compact_threshold=*/options.max_batch_size * 2 + 64) {}
+      qq_cache_(/*compact_threshold=*/options.max_batch_size * 2 + 64) {
+  if (options_.metrics != nullptr) {
+    tracer_ = options_.metrics->tracer();
+    if (obs::MetricsRegistry* reg = options_.metrics->registry()) {
+      window_micros_ = reg->GetHistogram(
+          "msq_engine_window_micros", obs::LatencyBoundariesMicros(),
+          "Wall time of one shifting-window call (ExecuteInternal)");
+      matrix_build_micros_ = reg->GetHistogram(
+          "msq_engine_matrix_build_micros", obs::LatencyBoundariesMicros(),
+          "Wall time preparing the query-distance matrix (Sec. 5.2)");
+      window_size_ = reg->GetHistogram(
+          "msq_engine_window_size", obs::SizeBoundaries(),
+          "Queries per shifting-window call (the paper's m)");
+    }
+  }
+}
 
 StatusOr<MultiQueryResult> MultiQueryEngine::Execute(
     const std::vector<Query>& queries, QueryStats* stats) {
@@ -42,7 +58,7 @@ StatusOr<std::vector<AnswerSet>> MultiQueryEngine::ExecuteAll(
 }
 
 Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
-                                         QueryStats* stats,
+                                         QueryStats* caller_stats,
                                          AnswerSet* primary_answers,
                                          MultiQueryResult* result) {
   if (backend_ == nullptr) return Status::InvalidArgument("backend is null");
@@ -60,24 +76,36 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
       return Status::InvalidArgument("query point is empty");
     }
   }
+  // All work is charged to a call-local QueryStats and merged into the
+  // caller's stats (and published to the metrics registry) once at the
+  // end — one pipeline from engine counters to exported metrics, and no
+  // partially-charged caller stats on error returns.
+  QueryStats local_stats;
+  QueryStats* const stats = &local_stats;
   // RAII: every return path below (GetOrCreate failure, duplicate ids,
   // success) must detach `stats` from the long-lived metric, or the next
   // call would charge work to a dangling pointer.
   const ScopedStatsSink stats_scope(metric_, stats);
 
   const size_t m = queries.size();
+  WallTimer window_timer;
+  obs::ScopedSpan window_span(tracer_, "engine.window", "engine");
+  window_span.AddArg("m", static_cast<double>(m));
 
   // restore_from_buffer: attach (or create) the buffered state of every
   // query in the batch.
   std::vector<BufferedQueryState*> states(m);
   std::unordered_set<QueryId> pinned;
   pinned.reserve(m);
-  for (size_t i = 0; i < m; ++i) {
-    auto got = buffer_.GetOrCreate(queries[i]);
-    if (!got.ok()) return got.status();
-    states[i] = got.value();
-    buffer_.Touch(states[i]);
-    pinned.insert(queries[i].id);
+  {
+    obs::ScopedSpan restore_span(tracer_, "engine.restore_buffer", "engine");
+    for (size_t i = 0; i < m; ++i) {
+      auto got = buffer_.GetOrCreate(queries[i]);
+      if (!got.ok()) return got.status();
+      states[i] = got.value();
+      buffer_.Touch(states[i]);
+      pinned.insert(queries[i].id);
+    }
   }
   if (pinned.size() != m) {
     return Status::InvalidArgument("duplicate query ids in batch");
@@ -91,7 +119,12 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
                              options_.enable_io_sharing && m > 1;
   std::vector<uint32_t> qq_index;
   if (use_avoidance) {
+    obs::ScopedSpan matrix_span(tracer_, "engine.matrix_build", "engine");
+    WallTimer matrix_timer;
     qq_cache_.Prepare(queries, metric_, &qq_index);
+    if (matrix_build_micros_ != nullptr) {
+      matrix_build_micros_->Observe(matrix_timer.ElapsedMicros());
+    }
   }
 
   BufferedQueryState* primary = states[0];
@@ -159,6 +192,10 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
         if (stats != nullptr) ++stats->pages_skipped_buffered;
         continue;
       }
+      // Scopes the rest of this iteration: relevance determination, the
+      // page read, and the per-object distance loop.
+      obs::ScopedSpan page_span(tracer_, "engine.page_scan", "engine");
+      page_span.AddArg("page", static_cast<double>(page));
 
       // Determine which batch queries this page is relevant for. The
       // primary is always relevant here (the stream filtered by its query
@@ -195,6 +232,7 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
         for (const auto& [lb, i] : active_lb) active.push_back(i);
       }
       primary->accounted_pages.insert(page);
+      page_span.AddArg("active", static_cast<double>(active.size()));
 
       const std::vector<ObjectId>& objects = backend_->ReadPage(page, stats);
       for (ObjectId obj : objects) {
@@ -239,6 +277,15 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
     }
   }
   buffer_.EnforceCapacity(pinned);
+
+  if (window_micros_ != nullptr) {
+    window_micros_->Observe(window_timer.ElapsedMicros());
+    window_size_->Observe(static_cast<double>(m));
+  }
+  if (caller_stats != nullptr) *caller_stats += local_stats;
+  if (options_.metrics != nullptr) {
+    options_.metrics->PublishQueryStats(local_stats);
+  }
   return Status::OK();
 }
 

@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/answer_buffer.h"
+#include "obs/sink.h"
 #include "core/backend.h"
 #include "core/distance_matrix.h"
 #include "core/query.h"
@@ -42,6 +43,11 @@ struct MultiQueryOptions {
   bool enable_triangle_avoidance = true;
   /// Witness-scan cap of one avoidance attempt (see CanAvoidDistance).
   size_t avoidance_max_witnesses = 8;
+  /// Observability sink. Default: the process-global registry + tracer.
+  /// nullptr disables all engine instrumentation (zero-overhead no-op);
+  /// every completed call publishes its QueryStats delta here, so the
+  /// registry is the one export pipeline for the paper's cost counters.
+  const obs::MetricsSink* metrics = obs::MetricsSink::Default();
 };
 
 /// Result of one multiple-query call.
@@ -93,6 +99,12 @@ class MultiQueryEngine {
   MultiQueryOptions options_;
   AnswerBuffer buffer_;
   QueryDistanceCache qq_cache_;
+
+  // Instruments, resolved once at construction (null when metrics is null).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* window_micros_ = nullptr;
+  obs::Histogram* matrix_build_micros_ = nullptr;
+  obs::Histogram* window_size_ = nullptr;
 };
 
 }  // namespace msq

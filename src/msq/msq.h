@@ -53,6 +53,9 @@
 #include "mining/similarity_join.h"  // IWYU pragma: export
 #include "mining/trend.h"        // IWYU pragma: export
 #include "mtree/mtree.h"         // IWYU pragma: export
+#include "obs/metrics.h"         // IWYU pragma: export
+#include "obs/sink.h"            // IWYU pragma: export
+#include "obs/trace.h"           // IWYU pragma: export
 #include "parallel/cluster.h"    // IWYU pragma: export
 #include "parallel/decluster.h"  // IWYU pragma: export
 #include "parallel/thread_pool.h"  // IWYU pragma: export

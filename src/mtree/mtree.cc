@@ -523,6 +523,7 @@ void MTreeBackend::Finalize() {
       options_.buffer_fraction *
       static_cast<double>(shape.num_leaves + shape.num_dir_nodes)));
   layout_ = DataLayout::FromGroups(std::move(groups), buffer_pages);
+  layout_.SetMetricsSink(metrics_sink_);
   finalized_ = true;
 }
 

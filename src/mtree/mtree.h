@@ -109,6 +109,12 @@ class MTreeBackend : public QueryBackend {
     return dataset_->object(id);
   }
   void ResetIoState() override;
+  /// Remembered so the lazy Finalize() (which rebuilds layout_ wholesale)
+  /// can re-attach the sink to the new buffer pool.
+  void SetMetricsSink(const obs::MetricsSink* sink) override {
+    metrics_sink_ = sink;
+    layout_.SetMetricsSink(sink);
+  }
 
   // --- introspection ---------------------------------------------------
   MTreeShape Shape() const;
@@ -151,6 +157,7 @@ class MTreeBackend : public QueryBackend {
 
   bool finalized_ = false;
   DataLayout layout_;
+  const obs::MetricsSink* metrics_sink_ = nullptr;
   std::vector<MNodeIndex> page_to_node_;
 };
 

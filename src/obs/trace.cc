@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace msq::obs {
+
+Tracer::Tracer(size_t max_events)
+    : epoch_(std::chrono::steady_clock::now()), max_events_(max_events) {}
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << ev.name << "\",\"cat\":\"" << ev.category
+       << "\",\"ph\":\"X\",\"ts\":" << ev.ts_micros
+       << ",\"dur\":" << ev.dur_micros << ",\"pid\":1,\"tid\":" << ev.tid;
+    if (ev.arg_keys[0] != nullptr) {
+      os << ",\"args\":{";
+      os << "\"" << ev.arg_keys[0] << "\":" << ev.arg_values[0];
+      if (ev.arg_keys[1] != nullptr) {
+        os << ",\"" << ev.arg_keys[1] << "\":" << ev.arg_values[1];
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  if (written != json.size() || closed != 0) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+Tracer* Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace msq::obs

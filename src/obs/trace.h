@@ -1,0 +1,127 @@
+// Span-based tracer with Chrome trace_event export.
+//
+// A span is one timed region of a batch's lifecycle — admission wait,
+// distance-matrix build, one page scan, per-server cluster execution,
+// future fulfilment — recorded as a Chrome "complete" ("ph":"X") event so a
+// whole serving timeline loads directly in chrome://tracing / Perfetto.
+//
+// Tracing is off by default. When disabled, ScopedSpan costs one relaxed
+// atomic load; when enabled, span end takes a mutex to append the event.
+// The buffer is bounded: events past `max_events` are dropped (and
+// counted), never reallocating without bound under heavy traffic.
+
+#ifndef MSQ_OBS_TRACE_H_
+#define MSQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msq::obs {
+
+/// One complete trace event. Names and categories must be string literals
+/// (or otherwise outlive the tracer) — events store the pointers.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  double ts_micros = 0.0;   // start, relative to the tracer's epoch
+  double dur_micros = 0.0;
+  uint32_t tid = 0;         // dense per-thread id (CurrentThreadId)
+  // Up to two numeric args, rendered into the event's "args" object.
+  const char* arg_keys[2] = {nullptr, nullptr};
+  double arg_values[2] = {0.0, 0.0};
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t max_events = 1 << 20);
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the tracer's construction (steady clock).
+  double NowMicros() const;
+
+  /// Appends one event (no-op when disabled; drops and counts when full).
+  void Record(const TraceEvent& event);
+
+  size_t size() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Chrome trace_event JSON object format:
+  /// {"traceEvents":[...], "displayTimeUnit":"ms"}.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// The process-global tracer (what MetricsSink::Default() records to).
+  static Tracer* Global();
+
+  /// Small dense id of the calling thread (stable for the thread's life).
+  static uint32_t CurrentThreadId();
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  const size_t max_events_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: captures the start time at construction (when the tracer is
+/// enabled) and records a complete event at destruction. Args attach
+/// between the two.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, const char* category)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) {
+      event_.name = name;
+      event_.category = category;
+      event_.ts_micros = tracer_->NowMicros();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    event_.dur_micros = tracer_->NowMicros() - event_.ts_micros;
+    event_.tid = Tracer::CurrentThreadId();
+    tracer_->Record(event_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric arg (first two stick; extras are ignored).
+  void AddArg(const char* key, double value) {
+    if (tracer_ == nullptr) return;
+    for (auto i : {0, 1}) {
+      if (event_.arg_keys[i] == nullptr) {
+        event_.arg_keys[i] = key;
+        event_.arg_values[i] = value;
+        return;
+      }
+    }
+  }
+
+  /// True when the span is live (tracer present and enabled at entry) —
+  /// lets callers skip arg computation entirely when not tracing.
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+};
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_TRACE_H_

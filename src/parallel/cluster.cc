@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/timer.h"
+
 namespace msq {
 
 StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
@@ -27,8 +29,21 @@ StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
     if (options.shared_pool != nullptr) {
       cluster->pool_ = options.shared_pool;
     } else {
-      cluster->owned_pool_ = std::make_unique<ThreadPool>(options.num_servers);
+      cluster->owned_pool_ =
+          std::make_unique<ThreadPool>(options.num_servers, options.metrics);
       cluster->pool_ = cluster->owned_pool_.get();
+    }
+  }
+  if (options.metrics != nullptr) {
+    cluster->tracer_ = options.metrics->tracer();
+    if (obs::MetricsRegistry* reg = options.metrics->registry()) {
+      cluster->server_micros_ = reg->GetHistogram(
+          "msq_cluster_server_micros", obs::LatencyBoundariesMicros(),
+          "Wall time of one server's local execution of a batch");
+      cluster->skew_micros_ = reg->GetHistogram(
+          "msq_cluster_skew_micros", obs::LatencyBoundariesMicros(),
+          "Straggler skew per call: slowest minus fastest server wall time "
+          "(the makespan gap of Sec. 5.3's max-cost model)");
     }
   }
   return cluster;
@@ -39,9 +54,19 @@ StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
   const size_t s = servers_.size();
   std::vector<std::vector<AnswerSet>> local(s);
   std::vector<Status> status(s);
+  // Each server writes only its own slot — no synchronization needed.
+  std::vector<double> server_wall_micros(s, 0.0);
+
+  obs::ScopedSpan execute_span(tracer_, "cluster.execute", "cluster");
+  execute_span.AddArg("servers", static_cast<double>(s));
+  execute_span.AddArg("m", static_cast<double>(queries.size()));
 
   auto run_server = [&](size_t i) {
+    obs::ScopedSpan server_span(tracer_, "cluster.server", "cluster");
+    server_span.AddArg("server", static_cast<double>(i));
+    WallTimer timer;
     auto got = servers_[i]->MultipleSimilarityQueryAll(queries);
+    server_wall_micros[i] = timer.ElapsedMicros();
     if (got.ok()) {
       local[i] = std::move(got).value();
     } else {
@@ -58,6 +83,12 @@ StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
     pool_->RunAll(std::move(tasks));
   } else {
     for (size_t i = 0; i < s; ++i) run_server(i);
+  }
+  if (server_micros_ != nullptr && s > 0) {
+    for (double micros : server_wall_micros) server_micros_->Observe(micros);
+    const auto [min_it, max_it] = std::minmax_element(
+        server_wall_micros.begin(), server_wall_micros.end());
+    skew_micros_->Observe(*max_it - *min_it);
   }
   for (const Status& st : status) {
     MSQ_RETURN_IF_ERROR(st);

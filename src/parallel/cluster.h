@@ -38,6 +38,10 @@ struct ClusterOptions {
   /// std::thread spawning is gone either way.
   ThreadPool* shared_pool = nullptr;
   uint64_t seed = 17;
+  /// Observability sink for the `msq_cluster_*` instruments (per-server
+  /// wall time, straggler skew) and per-server spans; also inherited by a
+  /// cluster-owned pool. nullptr disables cluster instrumentation.
+  const obs::MetricsSink* metrics = obs::MetricsSink::Default();
 };
 
 /// A simulated shared-nothing cluster of MetricDatabases.
@@ -78,6 +82,11 @@ class SharedNothingCluster {
   size_t dim_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;  // set when no shared pool given
   ThreadPool* pool_ = nullptr;              // null: sequential execution
+
+  // Instruments, resolved once at Create (null when metrics is null).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* server_micros_ = nullptr;
+  obs::Histogram* skew_micros_ = nullptr;
 };
 
 }  // namespace msq

@@ -4,6 +4,10 @@
 #include <memory>
 #include <utility>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace msq {
 
 size_t ThreadPool::DefaultThreadCount() {
@@ -11,8 +15,25 @@ size_t ThreadPool::DefaultThreadCount() {
   return hw == 0 ? 4 : static_cast<size_t>(hw);
 }
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, const obs::MetricsSink* metrics) {
   if (num_threads == 0) num_threads = DefaultThreadCount();
+  // Instruments must be resolved before the first worker can dequeue.
+  if (metrics != nullptr) {
+    tracer_ = metrics->tracer();
+    if (obs::MetricsRegistry* reg = metrics->registry()) {
+      queue_depth_ = reg->GetGauge(
+          "msq_pool_queue_depth", "Tasks waiting in the shared pool queue");
+      tasks_completed_ = reg->GetCounter(
+          "msq_pool_tasks_completed_total", "Tasks executed by pool workers");
+      busy_micros_total_ = reg->GetCounter(
+          "msq_pool_busy_micros_total",
+          "Cumulative wall time workers spent inside tasks; utilization = "
+          "rate over (num_threads * elapsed)");
+      task_micros_ = reg->GetHistogram("msq_pool_task_micros",
+                                       obs::LatencyBoundariesMicros(),
+                                       "Wall time of one pool task");
+    }
+  }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -33,7 +54,20 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
   cv_.notify_one();
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  obs::ScopedSpan span(tracer_, "pool.task", "pool");
+  WallTimer timer;
+  task();
+  if (task_micros_ != nullptr) {
+    const double micros = timer.ElapsedMicros();
+    task_micros_->Observe(micros);
+    busy_micros_total_->Add(static_cast<uint64_t>(micros));
+    tasks_completed_->Increment();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -48,7 +82,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (queue_depth_ != nullptr) queue_depth_->Sub(1);
+    RunTask(task);
   }
 }
 

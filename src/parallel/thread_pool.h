@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/sink.h"
+
 namespace msq {
 
 /// A fixed-size pool of worker threads with a FIFO task queue.
@@ -27,8 +29,12 @@ namespace msq {
 /// was submitted before it ran, then joins the workers.
 class ThreadPool {
  public:
-  /// `num_threads == 0` uses DefaultThreadCount().
-  explicit ThreadPool(size_t num_threads = 0);
+  /// `num_threads == 0` uses DefaultThreadCount(). The sink exports
+  /// queue depth, per-task latency and cumulative busy time as
+  /// `msq_pool_*` instruments; null disables pool instrumentation.
+  explicit ThreadPool(size_t num_threads = 0,
+                      const obs::MetricsSink* metrics =
+                          obs::MetricsSink::Default());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -49,12 +55,22 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Dequeue-side bookkeeping + execution of one task, shared by the
+  /// worker loop and RunAll's helping path.
+  void RunTask(std::function<void()>& task);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Instruments, resolved once at construction (null when metrics is null).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Counter* busy_micros_total_ = nullptr;
+  obs::Histogram* task_micros_ = nullptr;
 };
 
 }  // namespace msq

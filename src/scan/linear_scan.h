@@ -41,6 +41,9 @@ class LinearScanBackend : public QueryBackend {
     return dataset_->object(id);
   }
   void ResetIoState() override { layout_.ResetIoState(); }
+  void SetMetricsSink(const obs::MetricsSink* sink) override {
+    layout_.SetMetricsSink(sink);
+  }
 
  private:
   LinearScanBackend(std::shared_ptr<const Dataset> dataset, DataLayout layout)

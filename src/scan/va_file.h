@@ -54,6 +54,9 @@ class VaFileBackend : public QueryBackend {
     return dataset_->object(id);
   }
   void ResetIoState() override { layout_.ResetIoState(); }
+  void SetMetricsSink(const obs::MetricsSink* sink) override {
+    layout_.SetMetricsSink(sink);
+  }
 
   /// Number of pages occupied by the approximation file.
   size_t NumApproxPages() const { return approx_pages_; }

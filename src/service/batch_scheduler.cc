@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace msq {
 
 namespace {
@@ -15,6 +18,13 @@ bool SameDefinition(const Query& a, const Query& b) {
   return a.point == b.point && a.type.kind == b.type.kind &&
          a.type.range == b.type.range &&
          a.type.cardinality == b.type.cardinality;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             now - start)
+      .count();
 }
 
 }  // namespace
@@ -29,6 +39,39 @@ BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
   // A flushed batch must be admissible by the engine in one call.
   options_.max_batch_size = std::clamp<size_t>(
       options_.max_batch_size, 1, engine_->options().max_batch_size);
+  if (options_.metrics != nullptr) {
+    tracer_ = options_.metrics->tracer();
+    if (obs::MetricsRegistry* reg = options_.metrics->registry()) {
+      queue_depth_ = reg->GetGauge("msq_scheduler_queue_depth",
+                                   "Distinct queries pending admission");
+      inflight_gauge_ =
+          reg->GetGauge("msq_scheduler_inflight_batches",
+                        "Batches handed to the pool and not yet fulfilled");
+      submitted_total_ = reg->GetCounter("msq_scheduler_submitted_total",
+                                         "Queries submitted to the scheduler");
+      coalesced_total_ = reg->GetCounter(
+          "msq_scheduler_coalesced_total",
+          "Submissions answered by an already-pending identical query");
+      static const char* const kReasonLabels[4] = {
+          "reason=\"size\"", "reason=\"deadline\"", "reason=\"explicit\"",
+          "reason=\"drain\""};
+      for (int r = 0; r < 4; ++r) {
+        flush_reason_counters_[r] =
+            reg->GetCounter("msq_scheduler_flushes_total",
+                            "Batches flushed, by trigger", kReasonLabels[r]);
+      }
+      admission_wait_micros_ = reg->GetHistogram(
+          "msq_scheduler_admission_wait_micros",
+          obs::LatencyBoundariesMicros(),
+          "Per-query wait between Submit() and the batch flush");
+      latency_micros_ = reg->GetHistogram(
+          "msq_scheduler_latency_micros", obs::LatencyBoundariesMicros(),
+          "Per-query end-to-end latency: Submit() to future fulfilment");
+      batch_size_ =
+          reg->GetHistogram("msq_scheduler_batch_size", obs::SizeBoundaries(),
+                            "Distinct queries per flushed batch");
+    }
+  }
   deadline_thread_ = std::thread([this] { DeadlineLoop(); });
 }
 
@@ -39,6 +82,7 @@ AnswerFuture BatchScheduler::Submit(Query query) {
   AnswerFuture future = promise.get_future();
   std::lock_guard<std::mutex> lock(mu_);
   ++queries_submitted_;
+  if (submitted_total_ != nullptr) submitted_total_->Increment();
   if (shutdown_) {
     promise.set_value(Status::ResourceExhausted("BatchScheduler is shut down"));
     return future;
@@ -55,6 +99,7 @@ AnswerFuture BatchScheduler::Submit(Query query) {
     if (SameDefinition(entry.query, query)) {
       entry.promises.push_back(std::move(promise));
       ++queries_coalesced_;
+      if (coalesced_total_ != nullptr) coalesced_total_->Increment();
       return future;
     }
     promise.set_value(Status::InvalidArgument(
@@ -63,27 +108,75 @@ AnswerFuture BatchScheduler::Submit(Query query) {
     return future;
   }
   if (pending_.empty()) {
-    batch_open_time_ = std::chrono::steady_clock::now();
+    // A batch just opened: the deadline thread must re-arm from its first
+    // (oldest) entry.
     deadline_cv_.notify_all();
   }
   pending_index_.emplace(query.id, pending_.size());
   Pending entry;
   entry.query = std::move(query);
   entry.promises.push_back(std::move(promise));
+  entry.submit_time = std::chrono::steady_clock::now();
   pending_.push_back(std::move(entry));
-  if (pending_.size() >= options_.max_batch_size ||
-      options_.flush_deadline.count() <= 0) {
-    FlushLocked();
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
+  if (pending_.size() >= options_.max_batch_size) {
+    FlushLocked(FlushReason::kSize);
+  } else if (options_.flush_deadline.count() <= 0) {
+    // A zero deadline means "already overdue" — charge it to the deadline
+    // trigger, not the size trigger.
+    FlushLocked(FlushReason::kDeadline);
   }
   return future;
 }
 
-void BatchScheduler::FlushLocked() {
+void BatchScheduler::FlushLocked(FlushReason reason) {
   if (pending_.empty()) return;
+  const auto flush_time = std::chrono::steady_clock::now();
+  switch (reason) {
+    case FlushReason::kSize:
+      ++flush_counts_.size;
+      break;
+    case FlushReason::kDeadline:
+      ++flush_counts_.deadline;
+      break;
+    case FlushReason::kExplicit:
+      ++flush_counts_.explicit_flush;
+      break;
+    case FlushReason::kDrain:
+      ++flush_counts_.drain;
+      break;
+  }
+  if (obs::Counter* c = flush_reason_counters_[static_cast<int>(reason)]) {
+    c->Increment();
+  }
+  if (batch_size_ != nullptr) {
+    batch_size_->Observe(static_cast<double>(pending_.size()));
+  }
+  if (admission_wait_micros_ != nullptr) {
+    for (const Pending& entry : pending_) {
+      admission_wait_micros_->Observe(
+          MicrosSince(entry.submit_time, flush_time));
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Retro-record the admission window of this batch: it started when the
+    // oldest entry was submitted and ends now.
+    obs::TraceEvent event;
+    event.name = "scheduler.admission_wait";
+    event.category = "scheduler";
+    event.dur_micros = MicrosSince(pending_.front().submit_time, flush_time);
+    event.ts_micros = tracer_->NowMicros() - event.dur_micros;
+    event.tid = obs::Tracer::CurrentThreadId();
+    event.arg_keys[0] = "m";
+    event.arg_values[0] = static_cast<double>(pending_.size());
+    tracer_->Record(event);
+  }
   auto batch = std::make_shared<std::vector<Pending>>(std::move(pending_));
   pending_.clear();
   pending_index_.clear();
   ++inflight_batches_;
+  if (queue_depth_ != nullptr) queue_depth_->Sub(batch->size());
+  if (inflight_gauge_ != nullptr) inflight_gauge_->Add(1);
   pool_->Submit([this, batch] {
     std::vector<Query> queries;
     queries.reserve(batch->size());
@@ -95,20 +188,31 @@ void BatchScheduler::FlushLocked() {
     QueryStats batch_stats;
     auto answers = [&] {
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      obs::ScopedSpan batch_span(tracer_, "scheduler.batch", "scheduler");
+      batch_span.AddArg("m", static_cast<double>(batch->size()));
       return engine_->ExecuteAll(queries, &batch_stats);
     }();
     if (stats_sink_ != nullptr) stats_sink_->Add(batch_stats);
 
-    for (size_t i = 0; i < batch->size(); ++i) {
-      for (std::promise<StatusOr<AnswerSet>>& p : (*batch)[i].promises) {
-        if (answers.ok()) {
-          p.set_value((*answers)[i]);
-        } else {
-          // A failed batch fails every waiter with the batch's status.
-          p.set_value(answers.status());
+    {
+      obs::ScopedSpan fulfil_span(tracer_, "scheduler.fulfil", "scheduler");
+      const auto fulfil_time = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < batch->size(); ++i) {
+        if (latency_micros_ != nullptr) {
+          latency_micros_->Observe(
+              MicrosSince((*batch)[i].submit_time, fulfil_time));
+        }
+        for (std::promise<StatusOr<AnswerSet>>& p : (*batch)[i].promises) {
+          if (answers.ok()) {
+            p.set_value((*answers)[i]);
+          } else {
+            // A failed batch fails every waiter with the batch's status.
+            p.set_value(answers.status());
+          }
         }
       }
     }
+    if (inflight_gauge_ != nullptr) inflight_gauge_->Sub(1);
     // Notify under the lock: once the waiter observes inflight == 0 the
     // scheduler may be destroyed, so nothing may touch *this afterwards.
     std::lock_guard<std::mutex> lock(mu_);
@@ -120,12 +224,12 @@ void BatchScheduler::FlushLocked() {
 
 void BatchScheduler::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  FlushLocked();
+  FlushLocked(FlushReason::kExplicit);
 }
 
 void BatchScheduler::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  FlushLocked();
+  FlushLocked(FlushReason::kDrain);
   done_cv_.wait(lock,
                 [this] { return pending_.empty() && inflight_batches_ == 0; });
 }
@@ -134,7 +238,7 @@ void BatchScheduler::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
-    FlushLocked();
+    FlushLocked(FlushReason::kDrain);
   }
   Drain();
   {
@@ -152,12 +256,18 @@ void BatchScheduler::DeadlineLoop() {
       deadline_cv_.wait(lock);
       continue;
     }
-    const auto deadline = batch_open_time_ + options_.flush_deadline;
+    // Arm from the *oldest pending* submission. pending_.front() is always
+    // the oldest entry of the open batch: a flush clears the whole vector,
+    // so later submissions can never precede the front. Re-reading it every
+    // iteration (instead of caching a batch-open timestamp) keeps the timer
+    // correct across size/explicit flushes that happen while we wait.
+    const auto deadline = pending_.front().submit_time +
+                          options_.flush_deadline;
     if (deadline_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
         !pending_.empty() &&
         std::chrono::steady_clock::now() >=
-            batch_open_time_ + options_.flush_deadline) {
-      FlushLocked();
+            pending_.front().submit_time + options_.flush_deadline) {
+      FlushLocked(FlushReason::kDeadline);
     }
   }
 }
@@ -180,6 +290,11 @@ uint64_t BatchScheduler::queries_coalesced() const {
 uint64_t BatchScheduler::batches_executed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return batches_executed_;
+}
+
+FlushCounts BatchScheduler::flush_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_counts_;
 }
 
 }  // namespace msq

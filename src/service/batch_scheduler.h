@@ -38,6 +38,7 @@
 #include "common/status.h"
 #include "core/multi_query.h"
 #include "core/query.h"
+#include "obs/sink.h"
 #include "parallel/thread_pool.h"
 
 namespace msq {
@@ -49,6 +50,27 @@ struct BatchSchedulerOptions {
   /// Flush when the oldest pending query has waited this long. Zero means
   /// every submission flushes immediately (no batching, lowest latency).
   std::chrono::microseconds flush_deadline{2000};
+  /// Observability sink for the `msq_scheduler_*` instruments (queue depth,
+  /// admission wait, end-to-end latency, flush reasons) and batch spans.
+  /// nullptr disables scheduler instrumentation.
+  const obs::MetricsSink* metrics = obs::MetricsSink::Default();
+};
+
+/// Why a pending batch was handed to the pool.
+enum class FlushReason {
+  kSize,      ///< the batch reached max_batch_size (or zero deadline)
+  kDeadline,  ///< the oldest pending query waited flush_deadline
+  kExplicit,  ///< Flush() was called
+  kDrain,     ///< Drain()/Shutdown() forced the remainder out
+};
+
+/// Per-reason flush totals (introspection; also exported as the labeled
+/// counter `msq_scheduler_flushes_total{reason=...}`).
+struct FlushCounts {
+  uint64_t size = 0;
+  uint64_t deadline = 0;
+  uint64_t explicit_flush = 0;
+  uint64_t drain = 0;
 };
 
 /// Completion handle of one submitted query: the complete answer set, or
@@ -95,6 +117,8 @@ class BatchScheduler {
   /// Submissions answered by an already-pending identical query.
   uint64_t queries_coalesced() const;
   uint64_t batches_executed() const;
+  /// How many flushes each reason caused so far.
+  FlushCounts flush_counts() const;
   const BatchSchedulerOptions& options() const { return options_; }
 
  private:
@@ -102,10 +126,14 @@ class BatchScheduler {
   struct Pending {
     Query query;
     std::vector<std::promise<StatusOr<AnswerSet>>> promises;
+    /// When the query was admitted; the deadline timer always arms from
+    /// the *oldest* pending entry (pending_.front()), and the admission
+    /// wait and end-to-end latency histograms are fed from it.
+    std::chrono::steady_clock::time_point submit_time;
   };
 
   /// Requires mu_ held. Moves the pending batch to the pool.
-  void FlushLocked();
+  void FlushLocked(FlushReason reason);
   void DeadlineLoop();
 
   MultiQueryEngine* engine_;
@@ -119,13 +147,25 @@ class BatchScheduler {
   mutable std::mutex mu_;
   std::vector<Pending> pending_;
   std::unordered_map<QueryId, size_t> pending_index_;
-  std::chrono::steady_clock::time_point batch_open_time_;
   size_t inflight_batches_ = 0;
   bool shutdown_ = false;
   bool stop_deadline_thread_ = false;
   uint64_t queries_submitted_ = 0;
   uint64_t queries_coalesced_ = 0;
   uint64_t batches_executed_ = 0;
+  FlushCounts flush_counts_;
+
+  // Instruments, resolved once at construction (null when metrics is null).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Counter* submitted_total_ = nullptr;
+  obs::Counter* coalesced_total_ = nullptr;
+  obs::Counter* flush_reason_counters_[4] = {nullptr, nullptr, nullptr,
+                                             nullptr};
+  obs::Histogram* admission_wait_micros_ = nullptr;
+  obs::Histogram* latency_micros_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
 
   /// Wakes the deadline thread (new batch opened / shutdown).
   std::condition_variable deadline_cv_;

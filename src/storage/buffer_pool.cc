@@ -1,20 +1,44 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
+
 namespace msq {
 
 BufferPool::BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {}
 
+void BufferPool::SetMetricsSink(const obs::MetricsSink* sink) {
+  obs::MetricsRegistry* reg =
+      sink != nullptr ? sink->registry() : nullptr;
+  if (reg == nullptr) {
+    hits_ = misses_ = evictions_ = nullptr;
+    return;
+  }
+  hits_ = reg->GetCounter("msq_buffer_pool_hits_total",
+                          "Page accesses served from the LRU buffer");
+  misses_ = reg->GetCounter("msq_buffer_pool_misses_total",
+                            "Page accesses that went to the disk model");
+  evictions_ = reg->GetCounter("msq_buffer_pool_evictions_total",
+                               "Pages evicted from a full buffer (LRU)");
+}
+
 bool BufferPool::Access(PageId page, QueryStats* stats) {
-  if (capacity_ == 0) return false;
+  if (capacity_ == 0) {
+    if (misses_ != nullptr) misses_->Increment();
+    return false;
+  }
   auto it = map_.find(page);
   if (it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     if (stats != nullptr) ++stats->buffer_hits;
+    if (hits_ != nullptr) hits_->Increment();
     return true;
   }
+  if (misses_ != nullptr) misses_->Increment();
   if (map_.size() >= capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
+    if (evictions_ != nullptr) evictions_->Increment();
   }
   lru_.push_front(page);
   map_[page] = lru_.begin();

@@ -16,11 +16,21 @@
 
 namespace msq {
 
+namespace obs {
+class Counter;
+class MetricsSink;
+}  // namespace obs
+
 /// Fixed-capacity LRU cache of page ids.
 class BufferPool {
  public:
   /// `capacity_pages` == 0 disables buffering entirely.
   explicit BufferPool(size_t capacity_pages);
+
+  /// Attaches an observability sink: hits, misses and evictions are then
+  /// also exported as `msq_buffer_pool_*_total` counters. Null (the
+  /// default for bare pools) keeps accounting QueryStats-only.
+  void SetMetricsSink(const obs::MetricsSink* sink);
 
   /// Records an access. Returns true on a hit (charging `buffer_hits` to
   /// `stats`); on a miss the page is admitted, evicting the least recently
@@ -42,6 +52,10 @@ class BufferPool {
   // Most recently used at the front.
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+  // Registry cells, resolved once in SetMetricsSink (all null by default).
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 }  // namespace msq

@@ -48,6 +48,12 @@ class DataLayout {
   size_t num_objects() const { return page_of_.size(); }
   BufferPool& buffer() { return buffer_; }
 
+  /// Forwards the observability sink to the buffer pool (see
+  /// BufferPool::SetMetricsSink).
+  void SetMetricsSink(const obs::MetricsSink* sink) {
+    buffer_.SetMetricsSink(sink);
+  }
+
   /// Clears buffer content and disk-head position (between experiments).
   void ResetIoState();
 

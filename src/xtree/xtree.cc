@@ -757,6 +757,7 @@ void XTreeBackend::Finalize() {
       std::ceil(options_.buffer_fraction *
                 static_cast<double>(shape.total_blocks)));
   layout_ = DataLayout::FromGroups(std::move(groups), buffer_pages);
+  layout_.SetMetricsSink(metrics_sink_);
   finalized_ = true;
 }
 

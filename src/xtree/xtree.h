@@ -103,6 +103,12 @@ class XTreeBackend : public QueryBackend {
     return dataset_->object(id);
   }
   void ResetIoState() override;
+  /// Remembered so the lazy Finalize() (which rebuilds layout_ wholesale)
+  /// can re-attach the sink to the new buffer pool.
+  void SetMetricsSink(const obs::MetricsSink* sink) override {
+    metrics_sink_ = sink;
+    layout_.SetMetricsSink(sink);
+  }
 
   // --- introspection ---------------------------------------------------
   XTreeShape Shape() const;
@@ -153,6 +159,7 @@ class XTreeBackend : public QueryBackend {
 
   bool finalized_ = false;
   DataLayout layout_;
+  const obs::MetricsSink* metrics_sink_ = nullptr;
   std::vector<XNodeIndex> page_to_node_;
 };
 

@@ -325,6 +325,146 @@ TEST(BatchSchedulerTest, AggregateStatsMergesEveryBatch) {
   EXPECT_EQ(sink.batches_merged(), 0u);
 }
 
+TEST(BatchSchedulerTest, FlushReasonsAreAttributed) {
+  Dataset dataset = MakeUniformDataset(200, 4, 929);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 2;
+  options.flush_deadline = std::chrono::seconds(60);  // never deadline
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  // Two submissions fill the batch: one size flush.
+  auto f1 = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  auto f2 = scheduler.Submit(Query{2, dataset.object(1), QueryType::Knn(2)});
+  // One pending + explicit Flush(): one explicit flush.
+  auto f3 = scheduler.Submit(Query{3, dataset.object(2), QueryType::Knn(2)});
+  scheduler.Flush();
+  // One pending + Drain(): one drain flush.
+  auto f4 = scheduler.Submit(Query{4, dataset.object(3), QueryType::Knn(2)});
+  scheduler.Drain();
+  // Drain with nothing pending flushes nothing.
+  scheduler.Drain();
+
+  for (auto* f : {&f1, &f2, &f3, &f4}) ASSERT_TRUE(f->get().ok());
+  const FlushCounts counts = scheduler.flush_counts();
+  EXPECT_EQ(counts.size, 1u);
+  EXPECT_EQ(counts.deadline, 0u);
+  EXPECT_EQ(counts.explicit_flush, 1u);
+  EXPECT_EQ(counts.drain, 1u);
+  EXPECT_EQ(scheduler.batches_executed(), 3u);
+}
+
+TEST(BatchSchedulerTest, ZeroDeadlineFlushesCountAsDeadline) {
+  Dataset dataset = MakeUniformDataset(200, 4, 931);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1000;
+  options.flush_deadline = std::chrono::microseconds(0);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto f1 = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  auto f2 = scheduler.Submit(Query{2, dataset.object(1), QueryType::Knn(2)});
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+  // An already-overdue submission is a deadline flush, not a size flush.
+  const FlushCounts counts = scheduler.flush_counts();
+  EXPECT_EQ(counts.deadline, 2u);
+  EXPECT_EQ(counts.size, 0u);
+}
+
+// Regression: the deadline timer must arm from the *oldest pending*
+// submission. A timer re-armed from the latest submission is starved
+// forever by a steady trickle of sub-deadline arrivals, and the first
+// query never completes.
+TEST(BatchSchedulerTest, DeadlineArmsFromOldestPendingSubmission) {
+  Dataset dataset = MakeUniformDataset(200, 4, 933);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1000;  // never size-triggered
+  options.flush_deadline = std::chrono::milliseconds(20);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto first = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  // Keep the batch perpetually "fresh": a new submission every 5 ms, far
+  // below the 20 ms deadline, until `first` completes.
+  std::atomic<bool> stop{false};
+  std::vector<AnswerFuture> fillers;
+  std::thread feeder([&] {
+    uint64_t id = 100;
+    while (!stop.load(std::memory_order_relaxed)) {
+      fillers.push_back(scheduler.Submit(
+          Query{id, dataset.object(static_cast<ObjectId>(id % 200)),
+                QueryType::Knn(2)}));
+      ++id;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const auto status = first.wait_for(std::chrono::seconds(5));
+  stop.store(true, std::memory_order_relaxed);
+  feeder.join();
+  ASSERT_EQ(status, std::future_status::ready)
+      << "deadline timer starved by sub-deadline submissions";
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_GE(scheduler.flush_counts().deadline, 1u);
+  scheduler.Drain();
+  for (auto& f : fillers) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(BatchSchedulerTest, ObsMetricsPublishToCallerOwnedRegistry) {
+  Dataset dataset = MakeUniformDataset(300, 4, 935);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  obs::MetricsSink sink(&registry, nullptr);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 4;
+  options.flush_deadline = std::chrono::seconds(10);
+  options.metrics = &sink;
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  const auto queries = MixedQueryStream(dataset, 10, 937);
+  std::vector<AnswerFuture> futures;
+  for (const Query& q : queries) futures.push_back(scheduler.Submit(q));
+  scheduler.Drain();
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  EXPECT_EQ(registry.GetCounter("msq_scheduler_submitted_total")->Value(),
+            queries.size());
+  EXPECT_EQ(registry
+                .GetCounter("msq_scheduler_flushes_total", "",
+                            "reason=\"size\"")
+                ->Value(),
+            2u);  // 10 queries / batches of 4
+  EXPECT_EQ(registry
+                .GetCounter("msq_scheduler_flushes_total", "",
+                            "reason=\"drain\"")
+                ->Value(),
+            1u);
+  // Every admitted query fed the admission-wait and latency histograms;
+  // every flush fed the batch-size histogram.
+  EXPECT_EQ(registry
+                .GetHistogram("msq_scheduler_admission_wait_micros",
+                              obs::LatencyBoundariesMicros())
+                ->Count(),
+            queries.size());
+  EXPECT_EQ(registry
+                .GetHistogram("msq_scheduler_latency_micros",
+                              obs::LatencyBoundariesMicros())
+                ->Count(),
+            queries.size());
+  EXPECT_EQ(registry
+                .GetHistogram("msq_scheduler_batch_size",
+                              obs::SizeBoundaries())
+                ->Count(),
+            scheduler.batches_executed());
+  // Quiescent: nothing queued, nothing in flight.
+  EXPECT_EQ(registry.GetGauge("msq_scheduler_queue_depth")->Value(), 0);
+  EXPECT_EQ(registry.GetGauge("msq_scheduler_inflight_batches")->Value(), 0);
+}
+
 TEST(BatchSchedulerTest, DestructorDrainsOutstandingWork) {
   Dataset dataset = MakeUniformDataset(300, 4, 927);
   auto db = OpenScanDb(dataset);

@@ -38,6 +38,50 @@ BackendKind ParseBackend(const std::string& name) {
   return BackendKind::kXTree;
 }
 
+// Observability flags shared by the query-running subcommands.
+void DefineObsFlags(Flags* flags) {
+  flags->Define("metrics_dump", "",
+                "write Prometheus metrics text here after the run "
+                "(- = stdout)");
+  flags->Define("trace_out", "",
+                "enable tracing; write Chrome trace JSON here after the run");
+}
+
+// Must run before the database is opened (spans recorded from the start).
+void StartObs(const Flags& flags) {
+  if (!flags.GetString("trace_out").empty()) obs::Tracer::Global()->Enable();
+}
+
+int FinishObs(const Flags& flags) {
+  const std::string trace_out = flags.GetString("trace_out");
+  if (!trace_out.empty()) {
+    obs::Tracer* tracer = obs::Tracer::Global();
+    tracer->Disable();
+    if (Status s = tracer->WriteChromeTrace(trace_out); !s.ok()) {
+      return Fail(s);
+    }
+    std::fprintf(stderr, "trace: %zu events -> %s\n", tracer->size(),
+                 trace_out.c_str());
+  }
+  const std::string dump = flags.GetString("metrics_dump");
+  if (!dump.empty()) {
+    const std::string text =
+        obs::MetricsRegistry::Global()->RenderPrometheusText();
+    if (dump == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(dump.c_str(), "wb");
+      if (f == nullptr) {
+        return Fail(Status::IOError("cannot open " + dump));
+      }
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "metrics -> %s\n", dump.c_str());
+    }
+  }
+  return 0;
+}
+
 int CmdGenerate(int argc, char** argv) {
   Flags flags;
   flags.Define("kind", "tycho",
@@ -130,10 +174,12 @@ int CmdQuery(int argc, char** argv) {
   flags.Define("object", "0", "query object id");
   flags.Define("k", "10", "neighbors (0 = use eps range instead)");
   flags.Define("eps", "0.1", "range radius when k=0");
+  DefineObsFlags(&flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
   }
+  StartObs(flags);
   auto db = OpenFromFlags(flags);
   if (!db.ok()) return Fail(db.status());
   const ObjectId object = static_cast<ObjectId>(flags.GetInt("object"));
@@ -152,7 +198,7 @@ int CmdQuery(int argc, char** argv) {
                 (*db)->dataset().label(nb.id));
   }
   std::fprintf(stderr, "%s\n", (*db)->stats().ToString().c_str());
-  return 0;
+  return FinishObs(flags);
 }
 
 int CmdBatch(int argc, char** argv) {
@@ -162,10 +208,12 @@ int CmdBatch(int argc, char** argv) {
   flags.Define("m", "50", "batch width");
   flags.Define("k", "10", "neighbors per query");
   flags.Define("seed", "1", "query sample seed");
+  DefineObsFlags(&flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
   }
+  StartObs(flags);
   auto db = OpenFromFlags(flags);
   if (!db.ok()) return Fail(db.status());
   const size_t m = std::min<size_t>(
@@ -187,7 +235,7 @@ int CmdBatch(int argc, char** argv) {
   std::printf("modeled: io %.2f ms, cpu %.2f ms | wall %.1f ms\n",
               (*db)->ModeledIoMillis(), (*db)->ModeledCpuMillis(),
               timer.ElapsedMillis());
-  return 0;
+  return FinishObs(flags);
 }
 
 int CmdDbscan(int argc, char** argv) {
@@ -197,10 +245,12 @@ int CmdDbscan(int argc, char** argv) {
   flags.Define("eps", "0.08", "DBSCAN Eps");
   flags.Define("min_pts", "6", "DBSCAN MinPts");
   flags.Define("m", "64", "multiple-query batch width");
+  DefineObsFlags(&flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
   }
+  StartObs(flags);
   auto db = OpenFromFlags(flags);
   if (!db.ok()) return Fail(db.status());
   DbscanParams params;
@@ -215,7 +265,7 @@ int CmdDbscan(int argc, char** argv) {
   std::printf("noise objects: %zu / %zu\n", noise,
               result->cluster_of.size());
   std::printf("stats: %s\n", (*db)->stats().ToString().c_str());
-  return 0;
+  return FinishObs(flags);
 }
 
 }  // namespace
