@@ -1,0 +1,104 @@
+// Micro-benchmarks of the robustness layer (google-benchmark): the
+// acceptance check is that a quiescent FaultInjector — wrapped but with
+// every hazard rate at zero — adds nothing measurable to ExecuteAll
+// (same standard the observability layer's null-sink row meets). Also
+// times the injector's per-page decision itself and a deadline-armed
+// batch, so regressions in either hot path show up in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/database.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "robust/fault_injector.h"
+
+namespace msq {
+namespace {
+
+StatusOr<std::unique_ptr<MetricDatabase>> OpenBenchDb(
+    std::shared_ptr<robust::FaultInjector> injector) {
+  TychoLikeOptions gen;
+  gen.n = 4000;
+  gen.seed = 3;
+  DatabaseOptions options;
+  options.backend = BackendKind::kLinearScan;
+  options.fault_injector = std::move(injector);
+  return MetricDatabase::Open(MakeTychoLikeDataset(gen),
+                              std::make_shared<EuclideanMetric>(), options);
+}
+
+/// ExecuteAll with the backend unwrapped (0), wrapped in a quiescent
+/// injector (1), and wrapped with per-query deadlines armed but generous
+/// (2). Rows 0 and 1 must match: an idle injector is a pointer hop plus
+/// one mutexed check per page read, nothing per object.
+void BM_ExecuteAllFaultWrap(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  std::shared_ptr<robust::FaultInjector> injector;
+  if (mode != 0) {
+    injector = std::make_shared<robust::FaultInjector>(robust::FaultPlan{});
+  }
+  auto db = OpenBenchDb(injector);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+
+  const size_t m = 32;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (*db)->ResetAll();
+    std::vector<Query> batch;
+    batch.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      Query q = (*db)->MakeObjectKnnQuery(static_cast<ObjectId>(i * 97 % 4000),
+                                          10);
+      if (mode == 2) {
+        q.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(60);  // armed, never fires
+      }
+      batch.push_back(std::move(q));
+    }
+    state.ResumeTiming();
+    auto got = (*db)->MultipleSimilarityQueryAll(batch);
+    benchmark::DoNotOptimize(got);
+  }
+  static const char* const kLabels[] = {"faults=unwrapped", "faults=quiescent",
+                                        "faults=quiescent+deadline"};
+  state.SetLabel(kLabels[mode]);
+}
+BENCHMARK(BM_ExecuteAllFaultWrap)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// The injector's own per-page decision with no hazards configured: the
+/// cost every wrapped page read pays even when nothing can fire.
+void BM_InjectorDecisionQuiescent(benchmark::State& state) {
+  robust::FaultInjector injector{robust::FaultPlan{}};
+  PageId page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.OnPageRead(page++).ok());
+  }
+}
+BENCHMARK(BM_InjectorDecisionQuiescent);
+
+/// The decision with both probabilistic hazards armed (rates tiny so the
+/// benchmark loop stays on the common no-fault path but pays the draws).
+void BM_InjectorDecisionArmed(benchmark::State& state) {
+  robust::FaultPlan plan;
+  plan.page_read_fault_rate = 1e-9;
+  plan.latency_spike_rate = 1e-9;
+  robust::FaultInjector injector{plan};
+  PageId page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.OnPageRead(page++).ok());
+  }
+}
+BENCHMARK(BM_InjectorDecisionArmed);
+
+}  // namespace
+}  // namespace msq
+
+BENCHMARK_MAIN();

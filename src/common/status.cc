@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

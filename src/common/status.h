@@ -24,6 +24,7 @@ class Status {
     kNotSupported,
     kResourceExhausted,
     kInternal,
+    kDeadlineExceeded,
   };
 
   /// Default-constructed status is OK.
@@ -51,6 +52,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// A per-query deadline expired. Unlike the other codes this one can
+  /// accompany usable (partial) data: the multiple-query engine returns it
+  /// together with the buffered partial answers accumulated so far.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -65,6 +72,7 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
 
   /// Human-readable "<CODE>: <message>" string, "OK" when ok().
   std::string ToString() const;

@@ -9,7 +9,9 @@ BufferedQueryState* AnswerBuffer::Find(QueryId id) {
   return it == states_.end() ? nullptr : &it->second;
 }
 
-StatusOr<BufferedQueryState*> AnswerBuffer::GetOrCreate(const Query& q) {
+StatusOr<BufferedQueryState*> AnswerBuffer::GetOrCreate(const Query& q,
+                                                        bool* created) {
+  if (created != nullptr) *created = false;
   auto it = states_.find(q.id);
   if (it != states_.end()) {
     BufferedQueryState& state = it->second;
@@ -24,6 +26,7 @@ StatusOr<BufferedQueryState*> AnswerBuffer::GetOrCreate(const Query& q) {
   }
   auto [ins, ok] = states_.emplace(q.id, BufferedQueryState(q));
   (void)ok;
+  if (created != nullptr) *created = true;
   return &ins->second;
 }
 

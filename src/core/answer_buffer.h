@@ -58,8 +58,12 @@ class AnswerBuffer {
   /// Returns the state for q.id, creating it if absent. Fails with
   /// InvalidArgument if the id exists with a different point or type —
   /// QueryIds name query definitions, and silently replacing one would
-  /// return answers for the wrong query.
-  StatusOr<BufferedQueryState*> GetOrCreate(const Query& q);
+  /// return answers for the wrong query. When `created` is non-null it is
+  /// set to whether a fresh state was inserted, so a caller whose batch
+  /// fails *after* some GetOrCreate calls can roll back exactly the states
+  /// it created (a rejected batch must leave the buffer unchanged).
+  StatusOr<BufferedQueryState*> GetOrCreate(const Query& q,
+                                            bool* created = nullptr);
 
   /// Marks the state as used by the current call (LRU bookkeeping).
   void Touch(BufferedQueryState* state);

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "core/query.h"
 #include "storage/page.h"
 
@@ -80,6 +81,17 @@ class QueryBackend {
   virtual const std::vector<ObjectId>& ReadPage(PageId page,
                                                 QueryStats* stats) = 0;
 
+  /// Fallible page read: the engines' entry point. The simulated storage of
+  /// the stock backends cannot fail, so the default delegates to ReadPage
+  /// and always succeeds; fault-injecting decorators (robust/) override
+  /// this to surface IOError for crashed servers and flaky page reads.
+  /// On success the pointee is owned by the backend (same lifetime rules
+  /// as ReadPage's reference).
+  virtual StatusOr<const std::vector<ObjectId>*> ReadPageChecked(
+      PageId page, QueryStats* stats) {
+    return &ReadPage(page, stats);
+  }
+
   virtual size_t NumDataPages() const = 0;
   virtual size_t NumObjects() const = 0;
 
@@ -89,6 +101,12 @@ class QueryBackend {
   /// Clears buffer-pool content and the simulated disk head position so
   /// experiments start from a cold, reproducible state.
   virtual void ResetIoState() = 0;
+
+  /// Charges one failed page-read attempt to the backend's disk model (the
+  /// seek happened, no data arrived, head position unknown afterwards).
+  /// Called by the fault-injection decorator; default no-op for backends
+  /// (and test fakes) without metered storage.
+  virtual void NoteFailedRead(QueryStats* /*stats*/) {}
 
   /// Attaches an observability sink to the backend's storage side (buffer
   /// pool hit/miss/eviction counters). Default: no-op, for backends (and

@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include "core/single_query.h"
+#include "robust/fault_injector.h"
 
 namespace msq {
 
@@ -82,6 +83,10 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
       break;
     }
   }
+  if (options.fault_injector != nullptr) {
+    db->backend_ = std::make_unique<robust::FaultInjectingBackend>(
+        std::move(db->backend_), options.fault_injector);
+  }
   db->engine_ = std::make_unique<MultiQueryEngine>(db->backend_.get(), metric,
                                                    options.multi);
   // The storage side (buffer pool) shares the engine's observability sink.
@@ -143,6 +148,11 @@ StatusOr<MultiQueryResult> MetricDatabase::MultipleSimilarityQuery(
 StatusOr<std::vector<AnswerSet>> MetricDatabase::MultipleSimilarityQueryAll(
     const std::vector<Query>& queries) {
   return engine_->ExecuteAll(queries, &stats_);
+}
+
+StatusOr<BatchResult> MetricDatabase::MultipleSimilarityQueryAllPartial(
+    const std::vector<Query>& queries) {
+  return engine_->ExecuteAllPartial(queries, &stats_);
 }
 
 void MetricDatabase::ResetAll() {

@@ -27,6 +27,10 @@
 
 namespace msq {
 
+namespace robust {
+class FaultInjector;
+}  // namespace robust
+
 /// Storage/index organization of a MetricDatabase.
 enum class BackendKind {
   kLinearScan,
@@ -53,6 +57,12 @@ struct DatabaseOptions {
   VaFileOptions va_file;
   /// Build the X-tree by repeated insertion instead of bulk loading.
   bool xtree_dynamic_build = false;
+  /// When set, the backend is wrapped in a robust::FaultInjectingBackend
+  /// driven by this injector (crashes, flaky page reads, latency spikes).
+  /// The injector is shared so a test / cluster driver can flip faults on a
+  /// live database. Unset (the default) leaves the backend unwrapped —
+  /// fault handling then costs nothing at all.
+  std::shared_ptr<robust::FaultInjector> fault_injector;
 };
 
 /// A metric database: dataset + metric + storage organization + engines.
@@ -86,6 +96,12 @@ class MetricDatabase {
 
   /// Completes every query of the batch via incremental calls.
   StatusOr<std::vector<AnswerSet>> MultipleSimilarityQueryAll(
+      const std::vector<Query>& queries);
+
+  /// Fault-tolerant variant of MultipleSimilarityQueryAll: per-query
+  /// statuses instead of first-error-wins, and partial answers for queries
+  /// whose deadline expired. See MultiQueryEngine::ExecuteAllPartial.
+  StatusOr<BatchResult> MultipleSimilarityQueryAllPartial(
       const std::vector<Query>& queries);
 
   // --- accounting -------------------------------------------------------

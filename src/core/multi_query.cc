@@ -30,6 +30,9 @@ MultiQueryEngine::MultiQueryEngine(QueryBackend* backend,
       window_size_ = reg->GetHistogram(
           "msq_engine_window_size", obs::SizeBoundaries(),
           "Queries per shifting-window call (the paper's m)");
+      deadline_hits_ = reg->GetCounter(
+          "msq_engine_deadline_hits_total",
+          "Windows that returned DeadlineExceeded with partial answers");
     }
   }
 }
@@ -37,7 +40,11 @@ MultiQueryEngine::MultiQueryEngine(QueryBackend* backend,
 StatusOr<MultiQueryResult> MultiQueryEngine::Execute(
     const std::vector<Query>& queries, QueryStats* stats) {
   MultiQueryResult result;
-  MSQ_RETURN_IF_ERROR(ExecuteInternal(queries, stats, nullptr, &result));
+  Status st = ExecuteInternal(queries, stats, nullptr, &result);
+  // A deadline hit is not a failed call: the result carries the buffered
+  // partial answers and result.status tells the caller they are partial.
+  if (!st.ok() && !st.IsDeadlineExceeded()) return st;
+  result.status = std::move(st);
   return result;
 }
 
@@ -55,6 +62,27 @@ StatusOr<std::vector<AnswerSet>> MultiQueryEngine::ExecuteAll(
                                         /*result=*/nullptr));
   }
   return all;
+}
+
+StatusOr<BatchResult> MultiQueryEngine::ExecuteAllPartial(
+    const std::vector<Query>& queries, QueryStats* stats) {
+  BatchResult result;
+  result.answers.resize(queries.size());
+  result.statuses.assign(queries.size(), Status::OK());
+  const std::span<const Query> window(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status st = ExecuteInternal(window.subspan(i), stats,
+                                &result.answers[i], /*result=*/nullptr);
+    if (st.ok()) continue;
+    // Validation errors are properties of the whole batch (the first
+    // window sees every query), so they fail the call as before. Runtime
+    // failures — a deadline hit (answers[i] already holds the partial
+    // state) or a page-read error — are this query's alone: record and
+    // keep completing the remaining windows.
+    if (st.IsInvalidArgument() || st.IsResourceExhausted()) return st;
+    result.statuses[i] = std::move(st);
+  }
+  return result;
 }
 
 Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
@@ -92,23 +120,36 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
   obs::ScopedSpan window_span(tracer_, "engine.window", "engine");
   window_span.AddArg("m", static_cast<double>(m));
 
-  // restore_from_buffer: attach (or create) the buffered state of every
-  // query in the batch.
-  std::vector<BufferedQueryState*> states(m);
+  // Duplicate ids are rejected *before* any buffer mutation. (The old
+  // order — create states first, count ids after — left a rejected
+  // batch's fresh states resident in the buffer forever, because
+  // EnforceCapacity is never reached on the error path.)
   std::unordered_set<QueryId> pinned;
   pinned.reserve(m);
-  {
-    obs::ScopedSpan restore_span(tracer_, "engine.restore_buffer", "engine");
-    for (size_t i = 0; i < m; ++i) {
-      auto got = buffer_.GetOrCreate(queries[i]);
-      if (!got.ok()) return got.status();
-      states[i] = got.value();
-      buffer_.Touch(states[i]);
-      pinned.insert(queries[i].id);
-    }
-  }
+  for (const Query& q : queries) pinned.insert(q.id);
   if (pinned.size() != m) {
     return Status::InvalidArgument("duplicate query ids in batch");
+  }
+
+  // restore_from_buffer: attach (or create) the buffered state of every
+  // query in the batch. A definition conflict detected mid-loop rolls
+  // back the states this call created, so a rejected batch leaves the
+  // buffer exactly as it found it.
+  std::vector<BufferedQueryState*> states(m);
+  {
+    obs::ScopedSpan restore_span(tracer_, "engine.restore_buffer", "engine");
+    std::vector<QueryId> created;
+    for (size_t i = 0; i < m; ++i) {
+      bool fresh = false;
+      auto got = buffer_.GetOrCreate(queries[i], &fresh);
+      if (!got.ok()) {
+        for (QueryId id : created) buffer_.Erase(id);
+        return got.status();
+      }
+      if (fresh) created.push_back(queries[i].id);
+      states[i] = got.value();
+      buffer_.Touch(states[i]);
+    }
   }
 
   // Query-distance matrix: only pairs involving new query objects are
@@ -128,6 +169,17 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
   }
 
   BufferedQueryState* primary = states[0];
+  // Effective deadline of this window: the primary query's own absolute
+  // deadline, tightened by the per-window default. Checked once per
+  // candidate page — pages are the unit of both I/O and engine work, so
+  // page granularity bounds the overrun by one page's processing time.
+  auto deadline = queries[0].deadline;
+  if (options_.default_deadline.count() > 0) {
+    deadline = std::min(
+        deadline, std::chrono::steady_clock::now() + options_.default_deadline);
+  }
+  const bool has_deadline = deadline != kNoDeadline;
+  bool deadline_hit = false;
   if (!primary->complete) {
     // Derived query-distance bounds: once any query Q_j holds at least
     // k_i answers within radius r_j, the triangle inequality guarantees
@@ -181,10 +233,18 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
     // Per-page scratch, hoisted out of the loop.
     std::vector<uint32_t> active;          // batch indices to test on the page
     std::vector<std::pair<double, uint32_t>> active_lb;
+    std::vector<uint32_t> newly_accounted; // accounted this page (rollback)
     std::vector<KnownQueryDistance> known; // distances computed for one object
     while (stream->Next(use_avoidance ? effective_dist(0)
                                       : primary->answers.QueryDist(),
                         &candidate)) {
+      if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+        // Nothing of this candidate has been processed or accounted yet;
+        // the buffered state is a consistent partial answer as of the
+        // previous page.
+        deadline_hit = true;
+        break;
+      }
       const PageId page = candidate.page;
       if (primary->accounted_pages.count(page)) {
         // Already processed (or excluded) for the primary in an earlier
@@ -203,6 +263,7 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
       // PageMinDist > QueryDist(i), and query distances only shrink, so it
       // is accounted for i permanently.
       active.clear();
+      newly_accounted.clear();
       if (!options_.enable_io_sharing) {
         active.push_back(0);
       } else {
@@ -224,6 +285,7 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
           // either we process it below, or it is provably irrelevant
           // (the bound never falls below the query's final answer radius).
           s->accounted_pages.insert(page);
+          newly_accounted.push_back(i);
         }
         // Process queries closest to the page first: their distances are
         // computed early and make the strongest Lemma-1 witnesses for the
@@ -232,9 +294,23 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
         for (const auto& [lb, i] : active_lb) active.push_back(i);
       }
       primary->accounted_pages.insert(page);
+      newly_accounted.push_back(0);
       page_span.AddArg("active", static_cast<double>(active.size()));
 
-      const std::vector<ObjectId>& objects = backend_->ReadPage(page, stats);
+      auto read = backend_->ReadPageChecked(page, stats);
+      if (!read.ok()) {
+        // A failed read must not leave the page accounted: it was neither
+        // processed nor proven irrelevant by a completed read, and a retry
+        // (the cluster's transient-fault policy) must revisit it. Answers
+        // and accounted pages of *earlier* pages stay buffered, so the
+        // retry resumes instead of restarting.
+        for (uint32_t i : newly_accounted) {
+          states[i]->accounted_pages.erase(page);
+        }
+        buffer_.EnforceCapacity(pinned);
+        return read.status();
+      }
+      const std::vector<ObjectId>& objects = **read;
       for (ObjectId obj : objects) {
         const Vec& vec = backend_->ObjectVec(obj);
         known.clear();
@@ -260,10 +336,12 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
         --derived_attempts_left;
       }
     }
-    primary->complete = true;
-    if (stats != nullptr) {
-      ++stats->queries_completed;
-      stats->answers_produced += primary->answers.size();
+    if (!deadline_hit) {
+      primary->complete = true;
+      if (stats != nullptr) {
+        ++stats->queries_completed;
+        stats->answers_produced += primary->answers.size();
+      }
     }
   }
 
@@ -285,6 +363,15 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
   if (caller_stats != nullptr) *caller_stats += local_stats;
   if (options_.metrics != nullptr) {
     options_.metrics->PublishQueryStats(local_stats);
+  }
+  if (deadline_hit) {
+    // Reached only through the shared epilogue above: the partial answers
+    // are in the caller's out-params, the primary stays incomplete (and
+    // resumable) in the buffer, and the work done was charged normally.
+    if (deadline_hits_ != nullptr) deadline_hits_->Increment();
+    return Status::DeadlineExceeded(
+        "query " + std::to_string(queries[0].id) +
+        ": deadline expired; buffered partial answers returned");
   }
   return Status::OK();
 }

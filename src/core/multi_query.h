@@ -11,6 +11,7 @@
 #ifndef MSQ_CORE_MULTI_QUERY_H_
 #define MSQ_CORE_MULTI_QUERY_H_
 
+#include <chrono>
 #include <memory>
 #include <span>
 #include <vector>
@@ -43,6 +44,13 @@ struct MultiQueryOptions {
   bool enable_triangle_avoidance = true;
   /// Witness-scan cap of one avoidance attempt (see CanAvoidDistance).
   size_t avoidance_max_witnesses = 8;
+  /// Default per-window deadline, measured from the start of each
+  /// ExecuteInternal call; zero means none. A query's own absolute
+  /// `Query::deadline` takes precedence when it is tighter. Checked at
+  /// page granularity: on expiry the window returns DeadlineExceeded with
+  /// the buffered partial answers, and the primary query stays incomplete
+  /// (and resumable) in the AnswerBuffer.
+  std::chrono::microseconds default_deadline{0};
   /// Observability sink. Default: the process-global registry + tracer.
   /// nullptr disables all engine instrumentation (zero-overhead no-op);
   /// every completed call publishes its QueryStats delta here, so the
@@ -55,6 +63,19 @@ struct MultiQueryResult {
   /// answers[i] corresponds to queries[i]; answers[0] is complete, the
   /// rest reflect the current buffered (possibly partial) state.
   std::vector<AnswerSet> answers;
+  /// OK, or DeadlineExceeded — in which case answers[0] is also partial
+  /// (whatever had accumulated when the deadline expired) and the primary
+  /// query remains incomplete but resumable in the buffer.
+  Status status;
+};
+
+/// Result of completing a whole batch with per-query failure isolation.
+struct BatchResult {
+  /// answers[i] corresponds to queries[i]: complete when statuses[i] is
+  /// OK, the buffered partial answers when it is DeadlineExceeded, empty
+  /// when the query's window failed outright (e.g. IOError).
+  std::vector<AnswerSet> answers;
+  std::vector<Status> statuses;
 };
 
 /// Executes multiple similarity queries against one backend.
@@ -73,8 +94,19 @@ class MultiQueryEngine {
   /// Convenience driver: completes *all* queries by issuing the
   /// shifting-window sequence of calls ([Q0..], [Q1..], ...) the paper
   /// describes, and returns the complete answer set of every query.
+  /// All-or-nothing: the first failing window (including a deadline hit)
+  /// fails the whole call.
   StatusOr<std::vector<AnswerSet>> ExecuteAll(const std::vector<Query>& queries,
                                               QueryStats* stats);
+
+  /// ExecuteAll with per-query failure isolation (the serving layer's
+  /// entry point). Batch-level validation errors (empty/oversized batch,
+  /// duplicate ids, a definition conflicting with buffered state) still
+  /// fail the whole call; runtime failures of one window — an expired
+  /// deadline, an injected or real page-read error — land in
+  /// statuses[i] while the remaining windows keep executing.
+  StatusOr<BatchResult> ExecuteAllPartial(const std::vector<Query>& queries,
+                                          QueryStats* stats);
 
   /// Drops all buffered state (between experiments).
   void Reset();
@@ -105,6 +137,7 @@ class MultiQueryEngine {
   obs::Histogram* window_micros_ = nullptr;
   obs::Histogram* matrix_build_micros_ = nullptr;
   obs::Histogram* window_size_ = nullptr;
+  obs::Counter* deadline_hits_ = nullptr;
 };
 
 }  // namespace msq

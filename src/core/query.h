@@ -8,6 +8,7 @@
 #ifndef MSQ_CORE_QUERY_H_
 #define MSQ_CORE_QUERY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -64,11 +65,24 @@ struct QueryType {
   std::string ToString() const;
 };
 
+/// Absolute deadline value meaning "no deadline".
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
 /// A similarity query: an identifier, a query object, and a type.
 struct Query {
   QueryId id = 0;
   Vec point;
   QueryType type;
+  /// Absolute deadline for answering this query. The multiple-query engine
+  /// checks it at page granularity while the query is the window's primary;
+  /// on expiry the call returns DeadlineExceeded together with the buffered
+  /// partial answers (Def. 4's incremental semantics make the partial state
+  /// well-defined). Not part of the query's *definition* — two submissions
+  /// differing only in deadline still coalesce / share buffered state.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+
+  bool HasDeadline() const { return deadline != kNoDeadline; }
 };
 
 /// One answer: a database object and its distance to the query object.

@@ -22,8 +22,9 @@ StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
   // `Next(QueryDist(), ...)` realizes prune_pages: pages whose lower bound
   // exceeds the adapted query distance are never read.
   while (stream->Next(answers.QueryDist(), &candidate)) {
-    const std::vector<ObjectId>& objects =
-        backend->ReadPage(candidate.page, stats);
+    auto read = backend->ReadPageChecked(candidate.page, stats);
+    if (!read.ok()) return read.status();
+    const std::vector<ObjectId>& objects = **read;
     for (ObjectId id : objects) {
       const double d = counted.Distance(query.point, backend->ObjectVec(id));
       answers.Offer(id, d);  // Offer applies the range/cardinality bounds.

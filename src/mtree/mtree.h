@@ -109,6 +109,9 @@ class MTreeBackend : public QueryBackend {
     return dataset_->object(id);
   }
   void ResetIoState() override;
+  void NoteFailedRead(QueryStats* stats) override {
+    layout_.NoteFailedRead(stats);
+  }
   /// Remembered so the lazy Finalize() (which rebuilds layout_ wholesale)
   /// can re-attach the sink to the new buffer pool.
   void SetMetricsSink(const obs::MetricsSink* sink) override {

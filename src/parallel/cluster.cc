@@ -2,10 +2,65 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
+#include <thread>
 
 #include "common/timer.h"
+#include "robust/fault_injector.h"
 
 namespace msq {
+
+namespace {
+
+/// Rebuilds a Status with the same code but an aggregated message (the
+/// (code, message) constructor is private by design).
+Status WithCode(Status::Code code, std::string msg) {
+  switch (code) {
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    case Status::Code::kInternal:
+    case Status::Code::kOk:
+      break;
+  }
+  return Status::Internal(std::move(msg));
+}
+
+/// One status naming every failed server: "2 of 4 servers failed:
+/// server 1: <msg>; server 3: <msg>". The code is the first failure's
+/// (ties broken by server index, so the result is deterministic).
+Status AggregateFailures(const std::vector<Status>& status) {
+  size_t failed = 0;
+  std::string detail;
+  Status::Code code = Status::Code::kOk;
+  for (size_t i = 0; i < status.size(); ++i) {
+    if (status[i].ok()) continue;
+    if (failed == 0) {
+      code = status[i].code();
+    } else {
+      detail += "; ";
+    }
+    ++failed;
+    detail += "server " + std::to_string(i) + ": " + status[i].message();
+  }
+  if (failed == 0) return Status::OK();
+  return WithCode(code, std::to_string(failed) + " of " +
+                            std::to_string(status.size()) +
+                            " servers failed: " + detail);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
     const Dataset& dataset, std::shared_ptr<const Metric> metric,
@@ -19,12 +74,18 @@ StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
   cluster->partitions_ = std::move(partitions).value();
   cluster->dim_ = dataset.dim();
   cluster->servers_.reserve(options.num_servers);
-  for (const auto& part : cluster->partitions_) {
-    auto db = MetricDatabase::Open(dataset.Subset(part), metric,
-                                   options.server_options);
+  for (size_t i = 0; i < cluster->partitions_.size(); ++i) {
+    DatabaseOptions server_options = options.server_options;
+    if (i < options.server_faults.size()) {
+      server_options.fault_injector = options.server_faults[i];
+    }
+    auto db = MetricDatabase::Open(dataset.Subset(cluster->partitions_[i]),
+                                   metric, server_options);
     if (!db.ok()) return db.status();
     cluster->servers_.push_back(std::move(db).value());
   }
+  cluster->retry_ = options.retry;
+  cluster->partial_results_ = options.partial_results;
   if (options.use_threads) {
     if (options.shared_pool != nullptr) {
       cluster->pool_ = options.shared_pool;
@@ -44,16 +105,18 @@ StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
           "msq_cluster_skew_micros", obs::LatencyBoundariesMicros(),
           "Straggler skew per call: slowest minus fastest server wall time "
           "(the makespan gap of Sec. 5.3's max-cost model)");
+      cluster->retries_total_ = reg->GetCounter(
+          "msq_cluster_retries_total",
+          "Transient server failures retried by the coordinator");
     }
   }
   return cluster;
 }
 
-StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
-    const std::vector<Query>& queries) {
+void SharedNothingCluster::RunServers(const std::vector<Query>& queries,
+                                      std::vector<std::vector<AnswerSet>>* local,
+                                      std::vector<Status>* status) {
   const size_t s = servers_.size();
-  std::vector<std::vector<AnswerSet>> local(s);
-  std::vector<Status> status(s);
   // Each server writes only its own slot — no synchronization needed.
   std::vector<double> server_wall_micros(s, 0.0);
 
@@ -66,11 +129,27 @@ StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
     server_span.AddArg("server", static_cast<double>(i));
     WallTimer timer;
     auto got = servers_[i]->MultipleSimilarityQueryAll(queries);
+    // Retry only transient failures (IOError: a flaky page read). A
+    // crashed server fails every attempt, so the budget bounds the wasted
+    // work; other codes (validation, deadline) are deterministic and
+    // retrying them could only lose.
+    auto backoff = retry_.initial_backoff;
+    for (int attempt = 0;
+         attempt < retry_.max_retries && !got.ok() && got.status().IsIOError();
+         ++attempt) {
+      retries_attempted_.fetch_add(1, std::memory_order_relaxed);
+      if (retries_total_ != nullptr) retries_total_->Increment();
+      if (backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+      }
+      got = servers_[i]->MultipleSimilarityQueryAll(queries);
+    }
     server_wall_micros[i] = timer.ElapsedMicros();
     if (got.ok()) {
-      local[i] = std::move(got).value();
+      (*local)[i] = std::move(got).value();
     } else {
-      status[i] = got.status();
+      (*status)[i] = got.status();
     }
   };
 
@@ -90,17 +169,21 @@ StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
         server_wall_micros.begin(), server_wall_micros.end());
     skew_micros_->Observe(*max_it - *min_it);
   }
-  for (const Status& st : status) {
-    MSQ_RETURN_IF_ERROR(st);
-  }
+}
 
+std::vector<AnswerSet> SharedNothingCluster::MergeSurvivors(
+    const std::vector<Query>& queries,
+    const std::vector<std::vector<AnswerSet>>& local,
+    const std::vector<Status>& status) const {
   // Merge: translate local object ids to global ids, combine in
   // (distance, global id) order and re-apply the query type's bounds —
   // the global kNN set is contained in the union of the local kNN sets.
+  // Failed servers contribute nothing (their partitions are missing).
   std::vector<AnswerSet> merged(queries.size());
   for (size_t q = 0; q < queries.size(); ++q) {
     AnswerSet all;
-    for (size_t i = 0; i < s; ++i) {
+    for (size_t i = 0; i < servers_.size(); ++i) {
+      if (!status[i].ok()) continue;
       for (const Neighbor& nb : local[i][q]) {
         all.push_back({partitions_[i][nb.id], nb.distance});
       }
@@ -113,6 +196,40 @@ StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
     merged[q] = std::move(all);
   }
   return merged;
+}
+
+StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteMultipleAll(
+    const std::vector<Query>& queries) {
+  const size_t s = servers_.size();
+  std::vector<std::vector<AnswerSet>> local(s);
+  std::vector<Status> status(s);
+  RunServers(queries, &local, &status);
+
+  const size_t survivors =
+      static_cast<size_t>(std::count_if(status.begin(), status.end(),
+                                        [](const Status& st) { return st.ok(); }));
+  if (partial_results_) {
+    // Graceful degradation: serve from the survivors; only a total outage
+    // fails the call.
+    if (survivors == 0 && s > 0) return AggregateFailures(status);
+    return MergeSurvivors(queries, local, status);
+  }
+  if (survivors != s) return AggregateFailures(status);
+  return MergeSurvivors(queries, local, status);
+}
+
+StatusOr<ClusterBatchResult> SharedNothingCluster::ExecuteMultipleAllPartial(
+    const std::vector<Query>& queries) {
+  const size_t s = servers_.size();
+  ClusterBatchResult result;
+  std::vector<std::vector<AnswerSet>> local(s);
+  result.server_status.assign(s, Status::OK());
+  RunServers(queries, &local, &result.server_status);
+  for (size_t i = 0; i < s; ++i) {
+    if (!result.server_status[i].ok()) result.missing_servers.push_back(i);
+  }
+  result.answers = MergeSurvivors(queries, local, result.server_status);
+  return result;
 }
 
 std::vector<QueryStats> SharedNothingCluster::ServerStats() const {

@@ -12,6 +12,8 @@
 #ifndef MSQ_PARALLEL_CLUSTER_H_
 #define MSQ_PARALLEL_CLUSTER_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -22,6 +24,15 @@
 #include "parallel/thread_pool.h"
 
 namespace msq {
+
+/// Retry behavior for transient per-server failures (IOError — a flaky page
+/// read; crashed servers keep failing and are not retried past the budget).
+struct ClusterRetryPolicy {
+  /// Extra attempts after the first failure; 0 disables retrying.
+  int max_retries = 0;
+  /// Sleep before the first retry; doubled for each further retry.
+  std::chrono::microseconds initial_backoff{0};
+};
 
 struct ClusterOptions {
   size_t num_servers = 4;
@@ -42,6 +53,31 @@ struct ClusterOptions {
   /// wall time, straggler skew) and per-server spans; also inherited by a
   /// cluster-owned pool. nullptr disables cluster instrumentation.
   const obs::MetricsSink* metrics = obs::MetricsSink::Default();
+  /// Bounded retries with exponential backoff for transient (IOError)
+  /// server failures. Retries are counted in msq_cluster_retries_total.
+  ClusterRetryPolicy retry;
+  /// Graceful degradation: when true, ExecuteMultipleAll merges the
+  /// answers of the surviving servers instead of failing the whole call —
+  /// it fails only when *every* server failed. Use
+  /// ExecuteMultipleAllPartial to learn which partitions are missing.
+  bool partial_results = false;
+  /// Per-server fault injectors (robust/fault_injector.h): entry i wraps
+  /// server i's backend. Shorter than num_servers leaves the remaining
+  /// servers fault-free; empty (the default) injects nothing anywhere.
+  std::vector<std::shared_ptr<robust::FaultInjector>> server_faults;
+};
+
+/// Outcome of a degraded (fault-tolerant) cluster batch execution.
+struct ClusterBatchResult {
+  /// Merged global answers over the *surviving* servers. With any server
+  /// missing, kNN answers are best-effort: a missing partition may hold
+  /// true neighbors.
+  std::vector<AnswerSet> answers;
+  /// Indices of servers whose partitions are absent from `answers`
+  /// (ascending). Empty means the answers are complete.
+  std::vector<size_t> missing_servers;
+  /// Final per-server status, after retries.
+  std::vector<Status> server_status;
 };
 
 /// A simulated shared-nothing cluster of MetricDatabases.
@@ -55,8 +91,23 @@ class SharedNothingCluster {
   /// Executes the batch on every server (each completes all m queries on
   /// its local data) and merges the per-server answers into global answer
   /// sets honoring each query's type. Answer object ids are global.
+  /// Strict by default: any server failure (after retries) fails the call
+  /// with a status naming *every* failed server. With
+  /// ClusterOptions::partial_results it degrades instead — merging the
+  /// survivors and failing only when no server survived.
   StatusOr<std::vector<AnswerSet>> ExecuteMultipleAll(
       const std::vector<Query>& queries);
+
+  /// Fault-tolerant execution: never fails on server errors (only on an
+  /// empty cluster/batch). Merges the surviving servers' answers and
+  /// reports the missing partitions and per-server statuses explicitly.
+  StatusOr<ClusterBatchResult> ExecuteMultipleAllPartial(
+      const std::vector<Query>& queries);
+
+  /// Transient-failure retries attempted so far (all servers, all calls).
+  uint64_t retries_attempted() const {
+    return retries_attempted_.load(std::memory_order_relaxed);
+  }
 
   size_t num_servers() const { return servers_.size(); }
   MetricDatabase& server(size_t i) { return *servers_[i]; }
@@ -77,16 +128,33 @@ class SharedNothingCluster {
  private:
   SharedNothingCluster() = default;
 
+  /// Runs the batch on every server (with the retry policy applied) and
+  /// fills per-server answers and statuses; observes the wall-time
+  /// histograms. local/status must have num_servers() slots.
+  void RunServers(const std::vector<Query>& queries,
+                  std::vector<std::vector<AnswerSet>>* local,
+                  std::vector<Status>* status);
+  /// Merges the answers of servers whose status is OK (ids translated to
+  /// global, (distance, id) order, query-type bounds re-applied).
+  std::vector<AnswerSet> MergeSurvivors(
+      const std::vector<Query>& queries,
+      const std::vector<std::vector<AnswerSet>>& local,
+      const std::vector<Status>& status) const;
+
   std::vector<std::unique_ptr<MetricDatabase>> servers_;
   std::vector<std::vector<ObjectId>> partitions_;  // local id -> global id
   size_t dim_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;  // set when no shared pool given
   ThreadPool* pool_ = nullptr;              // null: sequential execution
+  ClusterRetryPolicy retry_;
+  bool partial_results_ = false;
+  std::atomic<uint64_t> retries_attempted_{0};
 
   // Instruments, resolved once at Create (null when metrics is null).
   obs::Tracer* tracer_ = nullptr;
   obs::Histogram* server_micros_ = nullptr;
   obs::Histogram* skew_micros_ = nullptr;
+  obs::Counter* retries_total_ = nullptr;
 };
 
 }  // namespace msq

@@ -1,0 +1,115 @@
+#include "robust/fault_injector.h"
+
+#include <thread>
+
+namespace msq::robust {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {
+  if (plan_.metrics != nullptr && plan_.metrics->registry() != nullptr) {
+    obs::MetricsRegistry* reg = plan_.metrics->registry();
+    const std::string help = "Faults injected by robust::FaultInjector";
+    crash_faults_ =
+        reg->GetCounter("msq_fault_injected_total", help, "kind=\"crash\"");
+    read_faults_ =
+        reg->GetCounter("msq_fault_injected_total", help, "kind=\"page_read\"");
+    latency_faults_ =
+        reg->GetCounter("msq_fault_injected_total", help, "kind=\"latency\"");
+  }
+}
+
+void FaultInjector::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+void FaultInjector::Restore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjector::FailNextPageReads(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_ += n;
+}
+
+Status FaultInjector::OnPageRead(PageId page) {
+  bool spike = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      ++faults_injected_;
+      if (crash_faults_ != nullptr) crash_faults_->Increment();
+      return Status::IOError("server down: page " + std::to_string(page) +
+                             " unreachable");
+    }
+    if (fail_next_ > 0) {
+      --fail_next_;
+      ++faults_injected_;
+      if (read_faults_ != nullptr) read_faults_->Increment();
+      return Status::IOError("injected transient fault reading page " +
+                             std::to_string(page));
+    }
+    // One Rng draw per configured probabilistic hazard, in a fixed order,
+    // so the fault schedule is a pure function of (seed, read sequence).
+    if (plan_.page_read_fault_rate > 0.0 &&
+        rng_.NextDouble() < plan_.page_read_fault_rate) {
+      ++faults_injected_;
+      if (read_faults_ != nullptr) read_faults_->Increment();
+      return Status::IOError("injected transient fault reading page " +
+                             std::to_string(page));
+    }
+    if (plan_.latency_spike_rate > 0.0 &&
+        rng_.NextDouble() < plan_.latency_spike_rate) {
+      ++spikes_injected_;
+      if (latency_faults_ != nullptr) latency_faults_->Increment();
+      spike = true;
+    }
+  }
+  // Sleep outside the lock: a stalled read must not block other threads'
+  // fault decisions (or Crash()/Restore() from a test driver).
+  if (spike && plan_.latency_spike.count() > 0) {
+    std::this_thread::sleep_for(plan_.latency_spike);
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+uint64_t FaultInjector::spikes_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spikes_injected_;
+}
+
+FaultInjectingBackend::FaultInjectingBackend(
+    QueryBackend* inner, std::shared_ptr<FaultInjector> injector)
+    : inner_(inner), injector_(std::move(injector)) {}
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<QueryBackend> inner,
+    std::shared_ptr<FaultInjector> injector)
+    : inner_(inner.get()),
+      owned_(std::move(inner)),
+      injector_(std::move(injector)) {}
+
+StatusOr<const std::vector<ObjectId>*> FaultInjectingBackend::ReadPageChecked(
+    PageId page, QueryStats* stats) {
+  Status st = injector_->OnPageRead(page);
+  if (!st.ok()) {
+    // The seek was attempted: charge it, and leave the simulated head
+    // position unknown so the next successful read is a random access.
+    inner_->NoteFailedRead(stats);
+    return st;
+  }
+  return inner_->ReadPageChecked(page, stats);
+}
+
+}  // namespace msq::robust

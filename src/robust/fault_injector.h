@@ -1,0 +1,144 @@
+// Deterministic fault injection for the serving stack.
+//
+// The simulated storage of the stock backends (storage/disk_model.h) cannot
+// fail, which leaves every error path in the engines, the scheduler and the
+// cluster untested in practice. This module supplies the missing failures
+// *deterministically*: a seeded FaultInjector decides — from the seed and
+// the sequence of page reads alone — which reads fail, which reads stall,
+// and whether the whole "server" is down. Two runs with the same seed and
+// the same workload inject exactly the same faults, so fault-tolerance
+// tests assert exact outcomes instead of sleeping and hoping.
+//
+// FaultInjectingBackend wraps any QueryBackend; the engines reach it only
+// through QueryBackend::ReadPageChecked, so a backend without the decorator
+// pays nothing (the default ReadPageChecked inlines to ReadPage).
+
+#ifndef MSQ_ROBUST_FAULT_INJECTOR_H_
+#define MSQ_ROBUST_FAULT_INJECTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/backend.h"
+#include "obs/sink.h"
+
+namespace msq::robust {
+
+/// What to inject, and how often. Rates are probabilities in [0, 1] drawn
+/// per page read from the injector's seeded Rng; scripted faults
+/// (Crash / FailNextPageReads) need no rates and are fully deterministic.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Probability that a page read fails with IOError (transient: the same
+  /// page can succeed on retry).
+  double page_read_fault_rate = 0.0;
+  /// Probability that a page read is delayed by `latency_spike` (the read
+  /// still succeeds). Models a slow disk / noisy neighbor, and gives
+  /// deadline tests something real to exceed.
+  double latency_spike_rate = 0.0;
+  std::chrono::microseconds latency_spike{0};
+  /// nullptr disables the msq_fault_injected_total counters.
+  const obs::MetricsSink* metrics = obs::MetricsSink::Default();
+};
+
+/// Seeded fault source shared by one simulated server. Thread-safe: the
+/// scheduler's engine thread and test threads may flip Crash()/Restore()
+/// while reads are in flight.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Marks the server down: every subsequent page read fails with IOError
+  /// until Restore(). Idempotent.
+  void Crash();
+  void Restore();
+  bool crashed() const;
+
+  /// Scripts the next `n` page reads (across all threads) to fail with a
+  /// transient IOError; the faults consume themselves, so read n+1
+  /// succeeds. Additive with any pending scripted failures.
+  void FailNextPageReads(int n);
+
+  /// The decorator's hook: decides the fate of one page read. Returns OK
+  /// (possibly after sleeping out a latency spike) or IOError. Check
+  /// order: crash, scripted failure, probabilistic failure, latency spike.
+  Status OnPageRead(PageId page);
+
+  // --- introspection ---------------------------------------------------
+  uint64_t faults_injected() const;
+  uint64_t spikes_injected() const;
+
+ private:
+  const FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  Rng rng_;                 // guarded by mu_
+  bool crashed_ = false;    // guarded by mu_
+  int fail_next_ = 0;       // guarded by mu_
+  uint64_t faults_injected_ = 0;  // guarded by mu_
+  uint64_t spikes_injected_ = 0;  // guarded by mu_
+
+  // Resolved once at construction; null when plan_.metrics is null.
+  obs::Counter* crash_faults_ = nullptr;
+  obs::Counter* read_faults_ = nullptr;
+  obs::Counter* latency_faults_ = nullptr;
+};
+
+/// QueryBackend decorator routing every checked page read through a
+/// FaultInjector. All other operations delegate unchanged; with the
+/// injector quiescent (no crash, zero rates, nothing scripted) the wrapped
+/// backend answers queries identically to the bare one (bench/micro_robust
+/// verifies the overhead is a mutex acquisition per page read).
+class FaultInjectingBackend : public QueryBackend {
+ public:
+  /// Borrowing: `inner` must outlive this decorator.
+  FaultInjectingBackend(QueryBackend* inner,
+                        std::shared_ptr<FaultInjector> injector);
+  /// Owning: takes over the wrapped backend's lifetime.
+  FaultInjectingBackend(std::unique_ptr<QueryBackend> inner,
+                        std::shared_ptr<FaultInjector> injector);
+
+  std::string Name() const override { return inner_->Name() + "+faults"; }
+  std::unique_ptr<CandidateStream> OpenStream(const Query& query,
+                                              QueryStats* stats) override {
+    return inner_->OpenStream(query, stats);
+  }
+  double PageMinDist(PageId page, const Query& q, QueryStats* stats) override {
+    return inner_->PageMinDist(page, q, stats);
+  }
+  const std::vector<ObjectId>& ReadPage(PageId page,
+                                        QueryStats* stats) override {
+    return inner_->ReadPage(page, stats);
+  }
+  StatusOr<const std::vector<ObjectId>*> ReadPageChecked(
+      PageId page, QueryStats* stats) override;
+  size_t NumDataPages() const override { return inner_->NumDataPages(); }
+  size_t NumObjects() const override { return inner_->NumObjects(); }
+  const Vec& ObjectVec(ObjectId id) const override {
+    return inner_->ObjectVec(id);
+  }
+  void ResetIoState() override { inner_->ResetIoState(); }
+  void NoteFailedRead(QueryStats* stats) override {
+    inner_->NoteFailedRead(stats);
+  }
+  void SetMetricsSink(const obs::MetricsSink* sink) override {
+    inner_->SetMetricsSink(sink);
+  }
+
+  FaultInjector* injector() const { return injector_.get(); }
+
+ private:
+  QueryBackend* inner_;                    // the wrapped backend
+  std::unique_ptr<QueryBackend> owned_;    // set only by the owning ctor
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+}  // namespace msq::robust
+
+#endif  // MSQ_ROBUST_FAULT_INJECTOR_H_

@@ -41,6 +41,9 @@ class LinearScanBackend : public QueryBackend {
     return dataset_->object(id);
   }
   void ResetIoState() override { layout_.ResetIoState(); }
+  void NoteFailedRead(QueryStats* stats) override {
+    layout_.NoteFailedRead(stats);
+  }
   void SetMetricsSink(const obs::MetricsSink* sink) override {
     layout_.SetMetricsSink(sink);
   }

@@ -54,6 +54,9 @@ class VaFileBackend : public QueryBackend {
     return dataset_->object(id);
   }
   void ResetIoState() override { layout_.ResetIoState(); }
+  void NoteFailedRead(QueryStats* stats) override {
+    layout_.NoteFailedRead(stats);
+  }
   void SetMetricsSink(const obs::MetricsSink* sink) override {
     layout_.SetMetricsSink(sink);
   }

@@ -52,6 +52,12 @@ BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
       coalesced_total_ = reg->GetCounter(
           "msq_scheduler_coalesced_total",
           "Submissions answered by an already-pending identical query");
+      rejected_total_ = reg->GetCounter(
+          "msq_scheduler_rejected_total",
+          "Submissions rejected: shutdown, invalid query, or id conflict");
+      shed_total_ = reg->GetCounter(
+          "msq_scheduler_shed_total",
+          "New queries shed by the max_pending overload bound");
       static const char* const kReasonLabels[4] = {
           "reason=\"size\"", "reason=\"deadline\"", "reason=\"explicit\"",
           "reason=\"drain\""};
@@ -81,15 +87,20 @@ AnswerFuture BatchScheduler::Submit(Query query) {
   std::promise<StatusOr<AnswerSet>> promise;
   AnswerFuture future = promise.get_future();
   std::lock_guard<std::mutex> lock(mu_);
-  ++queries_submitted_;
-  if (submitted_total_ != nullptr) submitted_total_->Increment();
+  // queries_submitted_ counts *admitted* work only — it is incremented
+  // after every rejection/shed branch below, so throughput metrics are not
+  // inflated by submissions that never entered the pipeline.
   if (shutdown_) {
+    ++queries_rejected_;
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
     promise.set_value(Status::ResourceExhausted("BatchScheduler is shut down"));
     return future;
   }
   if (query.point.empty()) {
     // Failing the one bad submission here keeps it from poisoning the
     // whole batch inside the engine.
+    ++queries_rejected_;
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
     promise.set_value(Status::InvalidArgument("query point is empty"));
     return future;
   }
@@ -97,16 +108,38 @@ AnswerFuture BatchScheduler::Submit(Query query) {
   if (it != pending_index_.end()) {
     Pending& entry = pending_[it->second];
     if (SameDefinition(entry.query, query)) {
+      // Coalescing is allowed even at the overload bound: the batch does
+      // not grow, so this submission adds no queue pressure. The tighter
+      // of the two deadlines wins (a coalesced waiter must not loosen the
+      // promise made to an earlier one).
+      entry.query.deadline = std::min(entry.query.deadline, query.deadline);
       entry.promises.push_back(std::move(promise));
+      ++queries_submitted_;
       ++queries_coalesced_;
+      if (submitted_total_ != nullptr) submitted_total_->Increment();
       if (coalesced_total_ != nullptr) coalesced_total_->Increment();
       return future;
     }
+    ++queries_rejected_;
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
     promise.set_value(Status::InvalidArgument(
         "query id " + std::to_string(query.id) +
         " is already pending with a different definition"));
     return future;
   }
+  if (options_.max_pending > 0 &&
+      pending_.size() + inflight_queries_ >= options_.max_pending) {
+    ++queries_shed_;
+    if (shed_total_ != nullptr) shed_total_->Increment();
+    promise.set_value(Status::ResourceExhausted(
+        "scheduler overloaded: " +
+        std::to_string(pending_.size() + inflight_queries_) +
+        " queries in flight (max_pending=" +
+        std::to_string(options_.max_pending) + ")"));
+    return future;
+  }
+  ++queries_submitted_;
+  if (submitted_total_ != nullptr) submitted_total_->Increment();
   if (pending_.empty()) {
     // A batch just opened: the deadline thread must re-arm from its first
     // (oldest) entry.
@@ -175,6 +208,7 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
   pending_.clear();
   pending_index_.clear();
   ++inflight_batches_;
+  inflight_queries_ += batch->size();
   if (queue_depth_ != nullptr) queue_depth_->Sub(batch->size());
   if (inflight_gauge_ != nullptr) inflight_gauge_->Add(1);
   pool_->Submit([this, batch] {
@@ -186,11 +220,11 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
     // Stats go to a private QueryStats first and into the shared sink in
     // one merge, so concurrent batches never write the same counter.
     QueryStats batch_stats;
-    auto answers = [&] {
+    auto result = [&] {
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
       obs::ScopedSpan batch_span(tracer_, "scheduler.batch", "scheduler");
       batch_span.AddArg("m", static_cast<double>(batch->size()));
-      return engine_->ExecuteAll(queries, &batch_stats);
+      return engine_->ExecuteAllPartial(queries, &batch_stats);
     }();
     if (stats_sink_ != nullptr) stats_sink_->Add(batch_stats);
 
@@ -203,11 +237,16 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
               MicrosSince((*batch)[i].submit_time, fulfil_time));
         }
         for (std::promise<StatusOr<AnswerSet>>& p : (*batch)[i].promises) {
-          if (answers.ok()) {
-            p.set_value((*answers)[i]);
+          if (!result.ok()) {
+            // A batch-level failure (validation: the engine refused the
+            // whole batch) fails every waiter with the batch's status.
+            p.set_value(result.status());
+          } else if (!result->statuses[i].ok()) {
+            // A per-query failure (deadline expiry, exhausted page reads)
+            // fails only this query's waiters; its batchmates are served.
+            p.set_value(result->statuses[i]);
           } else {
-            // A failed batch fails every waiter with the batch's status.
-            p.set_value(answers.status());
+            p.set_value(result->answers[i]);
           }
         }
       }
@@ -217,6 +256,7 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
     // scheduler may be destroyed, so nothing may touch *this afterwards.
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_batches_;
+    inflight_queries_ -= batch->size();
     ++batches_executed_;
     done_cv_.notify_all();
   });
@@ -285,6 +325,16 @@ uint64_t BatchScheduler::queries_submitted() const {
 uint64_t BatchScheduler::queries_coalesced() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queries_coalesced_;
+}
+
+uint64_t BatchScheduler::queries_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_rejected_;
+}
+
+uint64_t BatchScheduler::queries_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_shed_;
 }
 
 uint64_t BatchScheduler::batches_executed() const {

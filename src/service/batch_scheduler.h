@@ -20,7 +20,12 @@
 //  - A query whose id is pending with a *different* definition fails
 //    immediately (QueryIds name query definitions), without poisoning the
 //    batch its namesake rides in.
-//  - A failed batch propagates its Status to every waiter of the batch.
+//  - Overload protection: with max_pending set, a new query arriving while
+//    that many admitted queries are unfulfilled is shed immediately with
+//    ResourceExhausted (exported as msq_scheduler_shed_total).
+//  - Failures propagate per query, not per batch: a query whose deadline
+//    expired (or whose page reads kept failing) fails only its own
+//    waiters; batch-level validation errors still fail every waiter.
 
 #ifndef MSQ_SERVICE_BATCH_SCHEDULER_H_
 #define MSQ_SERVICE_BATCH_SCHEDULER_H_
@@ -50,6 +55,12 @@ struct BatchSchedulerOptions {
   /// Flush when the oldest pending query has waited this long. Zero means
   /// every submission flushes immediately (no batching, lowest latency).
   std::chrono::microseconds flush_deadline{2000};
+  /// Overload bound: maximum admitted-but-unfulfilled queries (pending in
+  /// the open batch plus riding in in-flight batches). A *new* query
+  /// arriving at the bound is shed with ResourceExhausted; coalescing onto
+  /// an already-pending query stays allowed (it adds no queue pressure).
+  /// Zero means unbounded.
+  size_t max_pending = 0;
   /// Observability sink for the `msq_scheduler_*` instruments (queue depth,
   /// admission wait, end-to-end latency, flush reasons) and batch spans.
   /// nullptr disables scheduler instrumentation.
@@ -113,9 +124,18 @@ class BatchScheduler {
 
   // --- introspection (for tests and benches) ---------------------------
   size_t pending_size() const;
+  /// Queries actually admitted (new or coalesced). Rejected and shed
+  /// submissions are counted separately — a rejected submission never
+  /// entered the pipeline, so it must not inflate throughput metrics.
   uint64_t queries_submitted() const;
   /// Submissions answered by an already-pending identical query.
   uint64_t queries_coalesced() const;
+  /// Submissions refused outright: shutdown, empty point, or an id pending
+  /// with a different definition.
+  uint64_t queries_rejected() const;
+  /// New queries refused because max_pending admitted-but-unfulfilled
+  /// queries were already in flight (overload protection).
+  uint64_t queries_shed() const;
   uint64_t batches_executed() const;
   /// How many flushes each reason caused so far.
   FlushCounts flush_counts() const;
@@ -148,10 +168,15 @@ class BatchScheduler {
   std::vector<Pending> pending_;
   std::unordered_map<QueryId, size_t> pending_index_;
   size_t inflight_batches_ = 0;
+  /// Queries riding in in-flight batches; pending_.size() + this is the
+  /// load the max_pending bound applies to.
+  size_t inflight_queries_ = 0;
   bool shutdown_ = false;
   bool stop_deadline_thread_ = false;
   uint64_t queries_submitted_ = 0;
   uint64_t queries_coalesced_ = 0;
+  uint64_t queries_rejected_ = 0;
+  uint64_t queries_shed_ = 0;
   uint64_t batches_executed_ = 0;
   FlushCounts flush_counts_;
 
@@ -161,6 +186,8 @@ class BatchScheduler {
   obs::Gauge* inflight_gauge_ = nullptr;
   obs::Counter* submitted_total_ = nullptr;
   obs::Counter* coalesced_total_ = nullptr;
+  obs::Counter* rejected_total_ = nullptr;
+  obs::Counter* shed_total_ = nullptr;
   obs::Counter* flush_reason_counters_[4] = {nullptr, nullptr, nullptr,
                                              nullptr};
   obs::Histogram* admission_wait_micros_ = nullptr;

@@ -41,6 +41,10 @@ class DataLayout {
   /// Objects stored on `page`, without any accounting (for tests/tools).
   const std::vector<ObjectId>& Peek(PageId page) const;
 
+  /// Charges a failed read attempt to the disk model (seek paid, no data,
+  /// head position lost). See DiskModel::RecordFailedRead.
+  void NoteFailedRead(QueryStats* stats) { disk_.RecordFailedRead(stats); }
+
   /// Page holding `object`.
   PageId PageOf(ObjectId object) const;
 

@@ -15,6 +15,13 @@ void DiskModel::RecordRead(PageId page, QueryStats* stats) {
   last_page_ = page;
 }
 
+void DiskModel::RecordFailedRead(QueryStats* stats) {
+  if (stats != nullptr) {
+    ++stats->random_page_reads;
+  }
+  last_page_ = kInvalidPageId;
+}
+
 void DiskModel::Reset() { last_page_ = kInvalidPageId; }
 
 }  // namespace msq

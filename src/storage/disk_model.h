@@ -21,6 +21,13 @@ class DiskModel {
   /// Charges one page read to `stats`, classified sequential/random.
   void RecordRead(PageId page, QueryStats* stats);
 
+  /// Charges one *failed* page read: the access was attempted — it pays a
+  /// random access (the head moved to seek) — but delivered no data, and
+  /// the head position is unknown afterwards, so the next read is random
+  /// too. Used by the fault-injection layer so faulted experiments keep
+  /// honest I/O accounting.
+  void RecordFailedRead(QueryStats* stats);
+
   /// Forgets the head position (e.g. between experiments).
   void Reset();
 

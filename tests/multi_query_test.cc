@@ -236,6 +236,57 @@ TEST(MultiQueryEngineTest, ReusedIdWithDifferentTypeRejected) {
                   .IsInvalidArgument());
 }
 
+// Regression: the duplicate-id check used to run *after* GetOrCreate had
+// already inserted fresh states, so a rejected batch left its states
+// resident in the buffer forever (capacity enforcement is never reached
+// on the error path).
+TEST(MultiQueryEngineTest, RejectedDuplicateIdBatchLeavesBufferUnchanged) {
+  auto db = OpenScanDb(MakeUniformDataset(200, 4, 329));
+  ASSERT_TRUE(db->MultipleSimilarityQuery({db->MakeObjectKnnQuery(9, 3)}).ok());
+  ASSERT_EQ(db->engine().buffer().size(), 1u);
+
+  std::vector<Query> queries{db->MakeObjectKnnQuery(1, 3),
+                             db->MakeObjectKnnQuery(2, 3),
+                             db->MakeObjectKnnQuery(1, 3)};
+  ASSERT_TRUE(
+      db->MultipleSimilarityQuery(queries).status().IsInvalidArgument());
+  // Neither the duplicated id nor its innocent batchmate leaked a state.
+  EXPECT_EQ(db->engine().buffer().size(), 1u);
+  EXPECT_EQ(db->engine().buffer().Find(1), nullptr);
+  EXPECT_EQ(db->engine().buffer().Find(2), nullptr);
+}
+
+// Regression companion: a batch rejected mid-admission by a definition
+// conflict must roll back exactly the states it created — earlier batch
+// members' fresh states included — while leaving pre-existing states
+// (including the conflicting one) untouched.
+TEST(MultiQueryEngineTest, RejectedConflictingBatchRollsBackCreatedStates) {
+  auto db = OpenScanDb(MakeUniformDataset(200, 4, 331));
+  const Query original = db->MakeObjectKnnQuery(5, 3);
+  ASSERT_TRUE(db->MultipleSimilarityQuery({original}).ok());
+  ASSERT_EQ(db->engine().buffer().size(), 1u);
+
+  // Fresh ids 6 and 7 are admitted first, then id 5 conflicts (different
+  // k) and the whole batch is rejected.
+  std::vector<Query> queries{db->MakeObjectKnnQuery(6, 3),
+                             db->MakeObjectKnnQuery(7, 3),
+                             db->MakeObjectKnnQuery(5, 8)};
+  ASSERT_TRUE(
+      db->MultipleSimilarityQuery(queries).status().IsInvalidArgument());
+  EXPECT_EQ(db->engine().buffer().size(), 1u);
+  EXPECT_EQ(db->engine().buffer().Find(6), nullptr);
+  EXPECT_EQ(db->engine().buffer().Find(7), nullptr);
+  // The original state survived, complete, and still answers correctly.
+  BufferedQueryState* kept = db->engine().buffer().Find(5);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_TRUE(kept->complete);
+  auto again = db->MultipleSimilarityQuery({original});
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(SameAnswers(
+      again->answers[0],
+      BruteForceQuery(db->dataset(), db->metric(), original)));
+}
+
 TEST(MultiQueryEngineTest, BatchOfOneMatchesSingleQuery) {
   Dataset dataset = MakeUniformDataset(600, 5, 323);
   auto db = OpenScanDb(dataset);

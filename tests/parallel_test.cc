@@ -143,6 +143,52 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// Regression guard for the coordinator's merge: with duplicated points the
+// candidate lists carry runs of equal distances, and the merged kNN cut
+// must land exactly where the single-server (distance, id) order puts it —
+// for every declustering, since each one splits the tied copies across
+// servers differently.
+TEST(ParallelTest, KnnMergeBreaksDistanceTiesDeterministically) {
+  constexpr size_t kDistinct = 50;
+  constexpr size_t kCopies = 4;
+  Rng rng(811);
+  std::vector<Vec> objects;
+  objects.reserve(kDistinct * kCopies);
+  for (size_t i = 0; i < kDistinct; ++i) {
+    Vec point = {rng.NextDouble(0.0, 1.0), rng.NextDouble(0.0, 1.0),
+                 rng.NextDouble(0.0, 1.0)};
+    for (size_t c = 0; c < kCopies; ++c) objects.push_back(point);
+  }
+  Dataset dataset(3, std::move(objects));
+  auto metric = std::make_shared<EuclideanMetric>();
+
+  std::vector<Query> queries;
+  for (uint64_t i = 0; i < 6; ++i) {
+    // k = 6 cuts through the middle of a 4-copy tie group (1 exact match
+    // group of 4, then 2 of the next group's 4 copies).
+    queries.push_back(Query{2000 + i,
+                            dataset.object(static_cast<ObjectId>(i * 13)),
+                            QueryType::Knn(6)});
+  }
+
+  for (DeclusterStrategy strategy :
+       {DeclusterStrategy::kRoundRobin, DeclusterStrategy::kRandom,
+        DeclusterStrategy::kChunked}) {
+    ClusterOptions options = MakeClusterOptions(5, BackendKind::kLinearScan);
+    options.strategy = strategy;
+    auto cluster = SharedNothingCluster::Create(dataset, metric, options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    auto got = (*cluster)->ExecuteMultipleAll(queries);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const AnswerSet expected =
+          BruteForceQuery(dataset, *metric, queries[i]);
+      EXPECT_TRUE(SameAnswers((*got)[i], expected))
+          << "strategy " << static_cast<int>(strategy) << " query " << i;
+    }
+  }
+}
+
 TEST(ParallelTest, RangeQueriesMergeToGlobalResult) {
   Dataset dataset = MakeUniformDataset(900, 4, 803);
   auto metric = std::make_shared<EuclideanMetric>();

@@ -465,6 +465,163 @@ TEST(BatchSchedulerTest, ObsMetricsPublishToCallerOwnedRegistry) {
   EXPECT_EQ(registry.GetGauge("msq_scheduler_inflight_batches")->Value(), 0);
 }
 
+// Regression: rejected submissions (empty point, conflicting definition,
+// post-shutdown) used to increment queries_submitted_ and the exported
+// submitted counter, skewing throughput metrics. They must be counted as
+// rejections instead.
+TEST(BatchSchedulerTest, RejectedSubmissionsDoNotCountAsSubmitted) {
+  Dataset dataset = MakeUniformDataset(200, 4, 941);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  obs::MetricsSink sink(&registry, nullptr);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.flush_deadline = std::chrono::seconds(10);
+  options.metrics = &sink;
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  auto good = scheduler.Submit(Query{1, dataset.object(0), QueryType::Knn(2)});
+  auto empty = scheduler.Submit(Query{2, {}, QueryType::Knn(2)});
+  auto clash = scheduler.Submit(Query{1, dataset.object(1), QueryType::Knn(2)});
+  EXPECT_TRUE(empty.get().status().IsInvalidArgument());
+  EXPECT_TRUE(clash.get().status().IsInvalidArgument());
+  scheduler.Drain();
+  EXPECT_TRUE(good.get().ok());
+  scheduler.Shutdown();
+  auto late = scheduler.Submit(Query{3, dataset.object(2), QueryType::Knn(2)});
+  EXPECT_TRUE(late.get().status().IsResourceExhausted());
+
+  EXPECT_EQ(scheduler.queries_submitted(), 1u);
+  EXPECT_EQ(scheduler.queries_rejected(), 3u);
+  EXPECT_EQ(scheduler.queries_shed(), 0u);
+  EXPECT_EQ(registry.GetCounter("msq_scheduler_submitted_total")->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("msq_scheduler_rejected_total")->Value(), 3u);
+  EXPECT_EQ(registry.GetCounter("msq_scheduler_shed_total")->Value(), 0u);
+}
+
+// Overload protection: a new query beyond max_pending admitted-but-
+// unfulfilled queries is shed with ResourceExhausted; coalescing onto a
+// pending query stays allowed (no queue pressure); admitted work drains
+// normally.
+TEST(BatchSchedulerTest, OverloadShedsNewQueriesButCoalescesPendingOnes) {
+  Dataset dataset = MakeUniformDataset(200, 4, 943);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  obs::MetricsSink sink(&registry, nullptr);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.flush_deadline = std::chrono::seconds(10);  // manual flushes only
+  options.max_pending = 2;
+  options.metrics = &sink;
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  const Query q1{1, dataset.object(0), QueryType::Knn(2)};
+  auto f1 = scheduler.Submit(q1);
+  auto f2 = scheduler.Submit(Query{2, dataset.object(1), QueryType::Knn(2)});
+  EXPECT_EQ(scheduler.pending_size(), 2u);
+
+  auto shed = scheduler.Submit(Query{3, dataset.object(2), QueryType::Knn(2)});
+  auto shed_result = shed.get();
+  EXPECT_TRUE(shed_result.status().IsResourceExhausted())
+      << shed_result.status().ToString();
+  // An identical resubmission of a pending query coalesces even at the
+  // bound.
+  auto dup = scheduler.Submit(q1);
+
+  scheduler.Drain();
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+  EXPECT_TRUE(dup.get().ok());
+  EXPECT_EQ(scheduler.queries_shed(), 1u);
+  EXPECT_EQ(scheduler.queries_submitted(), 3u);  // q1, q2, coalesced dup
+  EXPECT_EQ(registry.GetCounter("msq_scheduler_shed_total")->Value(), 1u);
+
+  // Capacity freed after the drain: the same query is admissible again.
+  auto after = scheduler.Submit(Query{4, dataset.object(3), QueryType::Knn(2)});
+  scheduler.Drain();
+  EXPECT_TRUE(after.get().ok());
+}
+
+// A query whose deadline expired fails only its own waiter; batchmates
+// riding in the same flushed batch are answered normally.
+TEST(BatchSchedulerTest, ExpiredDeadlineFailsOnlyItsOwnWaiter) {
+  Dataset dataset = MakeUniformDataset(300, 4, 945);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.flush_deadline = std::chrono::seconds(10);
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  Query doomed{21, dataset.object(1), QueryType::Knn(3)};
+  doomed.deadline = std::chrono::steady_clock::now();  // already expired
+  auto ok1 = scheduler.Submit(Query{20, dataset.object(0), QueryType::Knn(3)});
+  auto doomed_future = scheduler.Submit(doomed);
+  auto ok2 = scheduler.Submit(Query{22, dataset.object(2), QueryType::Range(0.2)});
+  scheduler.Drain();
+
+  auto r_doomed = doomed_future.get();
+  EXPECT_TRUE(r_doomed.status().IsDeadlineExceeded())
+      << r_doomed.status().ToString();
+  auto r1 = ok1.get();
+  auto r2 = ok2.get();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EuclideanMetric metric;
+  EXPECT_TRUE(SameAnswers(
+      *r1, BruteForceQuery(dataset, metric,
+                           Query{20, dataset.object(0), QueryType::Knn(3)})));
+  EXPECT_TRUE(SameAnswers(
+      *r2, BruteForceQuery(dataset, metric,
+                           Query{22, dataset.object(2), QueryType::Range(0.2)})));
+}
+
+// Concurrent producers against a tight max_pending bound: every future
+// completes (answered, rejected, or shed), the books balance, and nothing
+// races (this test runs under TSan in CI).
+TEST(BatchSchedulerTest, ConcurrentOverloadSheddingKeepsBooksBalanced) {
+  constexpr size_t kProducers = 4;
+  constexpr size_t kPerProducer = 200;
+  Dataset dataset = MakeUniformDataset(300, 4, 947);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(4);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 4;
+  options.flush_deadline = std::chrono::microseconds(200);
+  options.max_pending = 2;  // tight: producers race the bound and get shed
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  std::atomic<uint64_t> answered{0}, shed{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t id = 1000 + p * kPerProducer + i;
+        auto f = scheduler.Submit(
+            Query{id, dataset.object(static_cast<ObjectId>(id % 300)),
+                  QueryType::Knn(2)});
+        auto r = f.get();
+        if (r.ok()) {
+          ++answered;
+        } else {
+          ASSERT_TRUE(r.status().IsResourceExhausted())
+              << r.status().ToString();
+          ++shed;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  scheduler.Drain();
+
+  EXPECT_EQ(answered.load() + shed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(scheduler.queries_submitted(), answered.load());
+  EXPECT_EQ(scheduler.queries_shed(), shed.load());
+  EXPECT_EQ(scheduler.queries_rejected(), 0u);
+}
+
 TEST(BatchSchedulerTest, DestructorDrainsOutstandingWork) {
   Dataset dataset = MakeUniformDataset(300, 4, 927);
   auto db = OpenScanDb(dataset);
