@@ -26,6 +26,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   matrix_dist_computations += other.matrix_dist_computations;
   triangle_tries += other.triangle_tries;
   triangle_avoided += other.triangle_avoided;
+  kernel_batches += other.kernel_batches;
+  kernel_batched_dists += other.kernel_batched_dists;
+  kernel_speculative_dists += other.kernel_speculative_dists;
   random_page_reads += other.random_page_reads;
   seq_page_reads += other.seq_page_reads;
   buffer_hits += other.buffer_hits;
@@ -42,6 +45,10 @@ QueryStats QueryStats::operator-(const QueryStats& other) const {
       matrix_dist_computations - other.matrix_dist_computations;
   d.triangle_tries = triangle_tries - other.triangle_tries;
   d.triangle_avoided = triangle_avoided - other.triangle_avoided;
+  d.kernel_batches = kernel_batches - other.kernel_batches;
+  d.kernel_batched_dists = kernel_batched_dists - other.kernel_batched_dists;
+  d.kernel_speculative_dists =
+      kernel_speculative_dists - other.kernel_speculative_dists;
   d.random_page_reads = random_page_reads - other.random_page_reads;
   d.seq_page_reads = seq_page_reads - other.seq_page_reads;
   d.buffer_hits = buffer_hits - other.buffer_hits;
@@ -57,6 +64,9 @@ std::string QueryStats::ToString() const {
   os << "dist=" << dist_computations << " matrix_dist="
      << matrix_dist_computations << " tri_tries=" << triangle_tries
      << " tri_avoided=" << triangle_avoided
+     << " kernel_batches=" << kernel_batches
+     << " kernel_dists=" << kernel_batched_dists
+     << " kernel_spec=" << kernel_speculative_dists
      << " rand_pages=" << random_page_reads << " seq_pages=" << seq_page_reads
      << " buffer_hits=" << buffer_hits
      << " pages_skipped=" << pages_skipped_buffered

@@ -60,6 +60,19 @@ struct QueryStats {
   /// Distance computations avoided thanks to Lemma 1 / Lemma 2.
   uint64_t triangle_avoided = 0;
 
+  // --- Execution kernel -----------------------------------------------
+  /// Batched distance evaluations issued by the page kernel (one per
+  /// BatchDistance call over a candidate block).
+  uint64_t kernel_batches = 0;
+  /// Distances evaluated through those batched calls. Not a cost-model
+  /// term: the paper's CPU cost stays `dist_computations` (the kernel
+  /// charges exactly what the scalar algorithm would have computed).
+  uint64_t kernel_batched_dists = 0;
+  /// Batched evaluations discarded by the kernel's replay pass: computed
+  /// speculatively, then proven avoidable once intra-page radius shrinkage
+  /// was accounted for. Wasted SIMD lanes, not `dist_computations`.
+  uint64_t kernel_speculative_dists = 0;
+
   // --- I/O side -------------------------------------------------------
   /// Data pages fetched with a random disk access.
   uint64_t random_page_reads = 0;

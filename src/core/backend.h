@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/query.h"
+#include "storage/data_layout.h"
 #include "storage/page.h"
 
 namespace msq {
@@ -92,6 +93,29 @@ class QueryBackend {
     return &ReadPage(page, stats);
   }
 
+  /// Fallible page read returning a contiguous PageBlock view — the page
+  /// kernel's entry point. The default gathers the page's vectors through
+  /// ReadPageChecked + ObjectVec into backend-owned scratch (correct for
+  /// any backend, one row copy per object); backends whose DataLayout has
+  /// materialized rows override this to hand out their contiguous storage
+  /// directly. The view is valid until the next call on this backend.
+  virtual Status ReadPageBlockChecked(PageId page, QueryStats* stats,
+                                      PageBlock* out) {
+    auto read = ReadPageChecked(page, stats);
+    if (!read.ok()) return read.status();
+    const std::vector<ObjectId>& objects = **read;
+    const size_t dim = objects.empty() ? 0 : ObjectVec(objects[0]).size();
+    gather_rows_.clear();
+    gather_rows_.reserve(objects.size() * dim);
+    for (ObjectId id : objects) {
+      const Vec& v = ObjectVec(id);
+      gather_rows_.insert(gather_rows_.end(), v.begin(), v.end());
+    }
+    out->ids = objects.data();
+    out->vecs = VecBlock{gather_rows_.data(), dim, objects.size()};
+    return Status::OK();
+  }
+
   virtual size_t NumDataPages() const = 0;
   virtual size_t NumObjects() const = 0;
 
@@ -112,6 +136,11 @@ class QueryBackend {
   /// pool hit/miss/eviction counters). Default: no-op, for backends (and
   /// test fakes) without metered storage.
   virtual void SetMetricsSink(const obs::MetricsSink* /*sink*/) {}
+
+ protected:
+  /// Scratch for the default ReadPageBlockChecked gather; reused across
+  /// calls so steady-state block reads allocate nothing.
+  std::vector<Scalar> gather_rows_;
 };
 
 }  // namespace msq

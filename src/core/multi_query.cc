@@ -6,7 +6,6 @@
 #include <span>
 
 #include "common/timer.h"
-#include "core/avoidance.h"
 
 namespace msq {
 
@@ -30,6 +29,9 @@ MultiQueryEngine::MultiQueryEngine(QueryBackend* backend,
       window_size_ = reg->GetHistogram(
           "msq_engine_window_size", obs::SizeBoundaries(),
           "Queries per shifting-window call (the paper's m)");
+      kernel_.set_batch_size_histogram(reg->GetHistogram(
+          "msq_kernel_batch_size", obs::SizeBoundaries(),
+          "Rows per batched distance evaluation in the page kernel"));
       deadline_hits_ = reg->GetCounter(
           "msq_engine_deadline_hits_total",
           "Windows that returned DeadlineExceeded with partial answers");
@@ -234,7 +236,7 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
     std::vector<uint32_t> active;          // batch indices to test on the page
     std::vector<std::pair<double, uint32_t>> active_lb;
     std::vector<uint32_t> newly_accounted; // accounted this page (rollback)
-    std::vector<KnownQueryDistance> known; // distances computed for one object
+    std::vector<PageKernel::ActiveQuery> kernel_active;
     while (stream->Next(use_avoidance ? effective_dist(0)
                                       : primary->answers.QueryDist(),
                         &candidate)) {
@@ -297,7 +299,8 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
       newly_accounted.push_back(0);
       page_span.AddArg("active", static_cast<double>(active.size()));
 
-      auto read = backend_->ReadPageChecked(page, stats);
+      PageBlock block;
+      Status read = backend_->ReadPageBlockChecked(page, stats, &block);
       if (!read.ok()) {
         // A failed read must not leave the page accounted: it was neither
         // processed nor proven irrelevant by a completed read, and a retry
@@ -308,27 +311,24 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
           states[i]->accounted_pages.erase(page);
         }
         buffer_.EnforceCapacity(pinned);
-        return read.status();
+        return read;
       }
-      const std::vector<ObjectId>& objects = **read;
-      for (ObjectId obj : objects) {
-        const Vec& vec = backend_->ObjectVec(obj);
-        known.clear();
-        for (uint32_t i : active) {
-          BufferedQueryState* s = states[i];
-          const double query_dist = use_avoidance
-                                        ? effective_dist(i)
-                                        : s->answers.QueryDist();
-          if (use_avoidance &&
-              CanAvoidDistance(qq_cache_, known, qq_index[i], query_dist,
-                               stats, options_.avoidance_max_witnesses)) {
-            continue;  // dist(obj, Q_i) proven > the final answer radius.
-          }
-          const double d = metric_.Distance(queries[i].point, vec);
-          if (use_avoidance) known.push_back({qq_index[i], d});
-          s->answers.Offer(obj, d);
+      kernel_active.clear();
+      for (uint32_t i : active) {
+        BufferedQueryState* s = states[i];
+        PageKernel::ActiveQuery aq;
+        aq.point = &s->query.point;
+        aq.answers = &s->answers;
+        if (use_avoidance) {
+          aq.derived_bound = s->derived_bound;
+          aq.cache_index = qq_index[i];
         }
+        kernel_active.push_back(aq);
       }
+      kernel_.ProcessPage(block, kernel_active, metric_,
+                          use_avoidance ? &qq_cache_ : nullptr,
+                          options_.avoidance_max_witnesses,
+                          options_.use_batched_kernel, stats);
       // Cold batches derive nothing before the first page saturates the
       // kNN lists; retry until every adaptive query has its bound.
       if (use_avoidance && !derived_done && derived_attempts_left > 0) {

@@ -22,6 +22,7 @@
 #include "obs/sink.h"
 #include "core/backend.h"
 #include "core/distance_matrix.h"
+#include "core/page_kernel.h"
 #include "core/query.h"
 #include "dist/counting_metric.h"
 
@@ -44,6 +45,11 @@ struct MultiQueryOptions {
   bool enable_triangle_avoidance = true;
   /// Witness-scan cap of one avoidance attempt (see CanAvoidDistance).
   size_t avoidance_max_witnesses = 8;
+  /// Evaluate page distances through the metrics' batched kernels
+  /// (PageKernel's default mode). Off = the scalar reference loop, which
+  /// computes identical answers and identical `dist_computations` /
+  /// `triangle_avoided` counts (the batched mode's test oracle).
+  bool use_batched_kernel = true;
   /// Default per-window deadline, measured from the start of each
   /// ExecuteInternal call; zero means none. A query's own absolute
   /// `Query::deadline` takes precedence when it is tighter. Checked at
@@ -131,6 +137,7 @@ class MultiQueryEngine {
   MultiQueryOptions options_;
   AnswerBuffer buffer_;
   QueryDistanceCache qq_cache_;
+  PageKernel kernel_;
 
   // Instruments, resolved once at construction (null when metrics is null).
   obs::Tracer* tracer_ = nullptr;

@@ -1,11 +1,14 @@
 #include "core/single_query.h"
 
+#include <span>
+
 #include "core/answer_list.h"
+#include "core/page_kernel.h"
 
 namespace msq {
 
 StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
-                                       const CountingMetric& metric,
+                                       CountingMetric& metric,
                                        const Query& query, QueryStats* stats) {
   if (backend == nullptr) {
     return Status::InvalidArgument("backend is null");
@@ -13,22 +16,30 @@ StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
   if (query.point.empty()) {
     return Status::InvalidArgument("query point is empty");
   }
-  CountingMetric counted = metric;
-  counted.set_stats(stats);
+  // Attach the caller's stats for the duration of this call (restored on
+  // every return path) instead of copying the whole metric.
+  const ScopedStatsSink stats_scope(metric, stats);
 
   AnswerList answers(query.type);
+  PageKernel kernel;
+  PageKernel::ActiveQuery active;
+  active.point = &query.point;
+  active.answers = &answers;
+
   std::unique_ptr<CandidateStream> stream = backend->OpenStream(query, stats);
   PageCandidate candidate;
+  PageBlock block;
   // `Next(QueryDist(), ...)` realizes prune_pages: pages whose lower bound
   // exceeds the adapted query distance are never read.
   while (stream->Next(answers.QueryDist(), &candidate)) {
-    auto read = backend->ReadPageChecked(candidate.page, stats);
-    if (!read.ok()) return read.status();
-    const std::vector<ObjectId>& objects = **read;
-    for (ObjectId id : objects) {
-      const double d = counted.Distance(query.point, backend->ObjectVec(id));
-      answers.Offer(id, d);  // Offer applies the range/cardinality bounds.
-    }
+    Status read = backend->ReadPageBlockChecked(candidate.page, stats, &block);
+    if (!read.ok()) return read;
+    // One query, no avoidance cache: the kernel runs one dense batched
+    // evaluation per page — same distances and counts as the per-object
+    // loop, evaluated over contiguous rows.
+    kernel.ProcessPage(block, std::span<PageKernel::ActiveQuery>(&active, 1),
+                       metric, /*cache=*/nullptr, /*max_witnesses=*/0,
+                       /*batched=*/true, stats);
   }
   if (stats != nullptr) {
     ++stats->queries_completed;

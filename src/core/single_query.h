@@ -13,9 +13,11 @@ namespace msq {
 
 /// Executes one similarity query against `backend`, charging distance
 /// computations and page accesses to `stats` (which may be null for
-/// unmetered execution). Returns the complete answer set.
+/// unmetered execution). The metric's stats sink is scoped to this call
+/// (attached on entry, restored on every return path); the metric itself
+/// is not copied. Returns the complete answer set.
 StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
-                                       const CountingMetric& metric,
+                                       CountingMetric& metric,
                                        const Query& query, QueryStats* stats);
 
 }  // namespace msq

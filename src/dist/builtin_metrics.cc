@@ -25,7 +25,154 @@ inline double BoxGap(Scalar q, Scalar lo, Scalar hi) {
   if (q > hi) return static_cast<double>(q) - hi;
   return 0.0;
 }
+
+// Shared skeleton of the batched Lp kernels: kRows rows at a time, one
+// independent accumulator chain per row. Each row's per-dimension update
+// order is exactly the scalar loop's, so results are bit-identical to
+// Distance() — the speed comes from breaking the FP-add latency chain
+// across rows (and letting the compiler vectorize the independent chains),
+// not from reassociating any row's sum.
+//
+// `Init` yields the accumulator start value, `Step(acc, q_d, row_d, d)`
+// folds one dimension, `Finish(acc)` maps the accumulator to a distance.
+// Returns the first unprocessed row index.
+template <size_t kRows, typename Init, typename Step, typename Finish>
+inline size_t BatchRowsPass(const Scalar* qd, const VecBlock& block, size_t i,
+                            std::span<double> out, Init init, Step step,
+                            Finish finish) {
+  const size_t dim = block.dim;
+  for (; i + kRows <= block.count; i += kRows) {
+    const Scalar* rows[kRows];
+    for (size_t r = 0; r < kRows; ++r) rows[r] = block.row(i + r);
+    double acc[kRows];
+    for (size_t r = 0; r < kRows; ++r) acc[r] = init();
+    for (size_t d = 0; d < dim; ++d) {
+      const double qv = static_cast<double>(qd[d]);
+      for (size_t r = 0; r < kRows; ++r) acc[r] = step(acc[r], qv, rows[r][d], d);
+    }
+    for (size_t r = 0; r < kRows; ++r) out[i + r] = finish(acc[r]);
+  }
+  return i;
+}
+
+// Main pass over a block's tile-major mirror (see VecBlock::tiles): the
+// kVecBlockTileRows same-dimension components of a group are contiguous,
+// so each accumulator update is a unit-stride vector load instead of a
+// gather across row pointers. Per-row accumulation order is still the
+// scalar loop's (lane r only ever folds row i+r's components, in
+// dimension order), so results remain bit-identical.
+template <typename Init, typename Step, typename Finish>
+inline size_t BatchTilesPass(const Scalar* qd, const VecBlock& block,
+                             std::span<double> out, Init init, Step step,
+                             Finish finish) {
+  constexpr size_t kRows = kVecBlockTileRows;
+  const size_t dim = block.dim;
+  const size_t tiled = block.tiled_count();
+  for (size_t i = 0; i + kRows <= tiled; i += kRows) {
+    const Scalar* tile = block.tiles + i * dim;
+    double acc[kRows];
+    for (size_t r = 0; r < kRows; ++r) acc[r] = init();
+    for (size_t d = 0; d < dim; ++d) {
+      const double qv = static_cast<double>(qd[d]);
+      const Scalar* lane = tile + d * kRows;
+      for (size_t r = 0; r < kRows; ++r) acc[r] = step(acc[r], qv, lane[r], d);
+    }
+    for (size_t r = 0; r < kRows; ++r) out[i + r] = finish(acc[r]);
+  }
+  return tiled;
+}
+
+// Full block: the tile-major main pass when the block carries a mirror
+// (16-row unit-stride lanes), otherwise a 16-row row-major pass; then a
+// 4-row pass over what remains and a scalar tail.
+template <typename Init, typename Step, typename Finish>
+inline void BatchRows(const Vec& q, const VecBlock& block,
+                      std::span<double> out, Init init, Step step,
+                      Finish finish) {
+  assert(block.dim == q.size() && out.size() >= block.count);
+  const Scalar* qd = q.data();
+  const size_t dim = block.dim;
+  size_t i = block.tiles != nullptr
+                 ? BatchTilesPass(qd, block, out, init, step, finish)
+                 : BatchRowsPass<16>(qd, block, 0, out, init, step, finish);
+  i = BatchRowsPass<4>(qd, block, i, out, init, step, finish);
+  for (; i < block.count; ++i) {
+    const Scalar* r = block.row(i);
+    double a = init();
+    for (size_t d = 0; d < dim; ++d) {
+      a = step(a, static_cast<double>(qd[d]), r[d], d);
+    }
+    out[i] = finish(a);
+  }
+}
+
+// The hot Lp kernels are additionally compiled per ISA via target_clones:
+// the default CMake build targets baseline x86-64 (SSE2), which caps the
+// cross-row vectorization at 2 doubles per register; the AVX2/AVX-512
+// clones widen that to 4/8 and the glibc ifunc resolver picks the best one
+// at load time. Bit-exactness is preserved because this translation unit
+// is built with -ffp-contract=off (see src/CMakeLists.txt): without it the
+// AVX-512 clone would contract `acc + d * d` into an FMA, whose single
+// rounding differs from the scalar path's separate multiply and add.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__)
+#define MSQ_KERNEL_ISA_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define MSQ_KERNEL_ISA_CLONES
+#endif
+
+MSQ_KERNEL_ISA_CLONES
+void EuclideanBatchKernel(const Vec& q, const VecBlock& block,
+                          std::span<double> out) {
+  BatchRows(
+      q, block, out, [] { return 0.0; },
+      [](double acc, double qv, Scalar rv, size_t) {
+        const double d = qv - rv;
+        return acc + d * d;
+      },
+      [](double acc) { return std::sqrt(acc); });
+}
+
+MSQ_KERNEL_ISA_CLONES
+void ManhattanBatchKernel(const Vec& q, const VecBlock& block,
+                          std::span<double> out) {
+  BatchRows(
+      q, block, out, [] { return 0.0; },
+      [](double acc, double qv, Scalar rv, size_t) {
+        return acc + std::fabs(qv - rv);
+      },
+      [](double acc) { return acc; });
+}
+
+MSQ_KERNEL_ISA_CLONES
+void ChebyshevBatchKernel(const Vec& q, const VecBlock& block,
+                          std::span<double> out) {
+  BatchRows(
+      q, block, out, [] { return 0.0; },
+      [](double acc, double qv, Scalar rv, size_t) {
+        return std::max(acc, std::fabs(qv - rv));
+      },
+      [](double acc) { return acc; });
+}
+
+MSQ_KERNEL_ISA_CLONES
+void WeightedEuclideanBatchKernel(const double* w, const Vec& q,
+                                  const VecBlock& block,
+                                  std::span<double> out) {
+  BatchRows(
+      q, block, out, [] { return 0.0; },
+      [w](double acc, double qv, Scalar rv, size_t d) {
+        const double diff = qv - rv;
+        return acc + w[d] * diff * diff;
+      },
+      [](double acc) { return std::sqrt(acc); });
+}
 }  // namespace
+
+void EuclideanMetric::BatchDistance(const Vec& q, const VecBlock& block,
+                                    std::span<double> out) const {
+  EuclideanBatchKernel(q, block, out);
+}
 
 double EuclideanMetric::MinDistToBox(const Vec& q, const Vec& lo,
                                      const Vec& hi) const {
@@ -54,6 +201,16 @@ double ChebyshevMetric::Distance(const Vec& a, const Vec& b) const {
     max = std::max(max, std::fabs(static_cast<double>(a[i]) - b[i]));
   }
   return max;
+}
+
+void ManhattanMetric::BatchDistance(const Vec& q, const VecBlock& block,
+                                    std::span<double> out) const {
+  ManhattanBatchKernel(q, block, out);
+}
+
+void ChebyshevMetric::BatchDistance(const Vec& q, const VecBlock& block,
+                                    std::span<double> out) const {
+  ChebyshevBatchKernel(q, block, out);
 }
 
 double ManhattanMetric::MinDistToBox(const Vec& q, const Vec& lo,
@@ -86,6 +243,19 @@ double MinkowskiMetric::Distance(const Vec& a, const Vec& b) const {
     sum += std::pow(std::fabs(static_cast<double>(a[i]) - b[i]), p_);
   }
   return std::pow(sum, 1.0 / p_);
+}
+
+void MinkowskiMetric::BatchDistance(const Vec& q, const VecBlock& block,
+                                    std::span<double> out) const {
+  // pow() dominates; the win over the fallback is dropping the per-row
+  // virtual call and Vec copy, so no ISA-cloned kernel is needed.
+  const double p = p_;
+  BatchRows(
+      q, block, out, [] { return 0.0; },
+      [p](double acc, double qv, Scalar rv, size_t) {
+        return acc + std::pow(std::fabs(qv - rv), p);
+      },
+      [p](double acc) { return std::pow(acc, 1.0 / p); });
 }
 
 double MinkowskiMetric::MinDistToBox(const Vec& q, const Vec& lo,
@@ -125,6 +295,13 @@ double WeightedEuclideanMetric::Distance(const Vec& a, const Vec& b) const {
     sum += weights_[i] * d * d;
   }
   return std::sqrt(sum);
+}
+
+void WeightedEuclideanMetric::BatchDistance(const Vec& q,
+                                            const VecBlock& block,
+                                            std::span<double> out) const {
+  assert(block.dim == weights_.size());
+  WeightedEuclideanBatchKernel(weights_.data(), q, block, out);
 }
 
 double WeightedEuclideanMetric::MinDistToBox(const Vec& q, const Vec& lo,

@@ -18,6 +18,8 @@ namespace msq {
 class EuclideanMetric : public Metric, public BoxDistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  void BatchDistance(const Vec& q, const VecBlock& block,
+                     std::span<double> out) const override;
   double MinDistToBox(const Vec& q, const Vec& lo,
                       const Vec& hi) const override;
   std::string Name() const override { return "euclidean"; }
@@ -27,6 +29,8 @@ class EuclideanMetric : public Metric, public BoxDistanceMetric {
 class ManhattanMetric : public Metric, public BoxDistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  void BatchDistance(const Vec& q, const VecBlock& block,
+                     std::span<double> out) const override;
   double MinDistToBox(const Vec& q, const Vec& lo,
                       const Vec& hi) const override;
   std::string Name() const override { return "manhattan"; }
@@ -36,6 +40,8 @@ class ManhattanMetric : public Metric, public BoxDistanceMetric {
 class ChebyshevMetric : public Metric, public BoxDistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  void BatchDistance(const Vec& q, const VecBlock& block,
+                     std::span<double> out) const override;
   double MinDistToBox(const Vec& q, const Vec& lo,
                       const Vec& hi) const override;
   std::string Name() const override { return "chebyshev"; }
@@ -48,6 +54,8 @@ class MinkowskiMetric : public Metric, public BoxDistanceMetric {
   static StatusOr<MinkowskiMetric> Make(double p);
 
   double Distance(const Vec& a, const Vec& b) const override;
+  void BatchDistance(const Vec& q, const VecBlock& block,
+                     std::span<double> out) const override;
   double MinDistToBox(const Vec& q, const Vec& lo,
                       const Vec& hi) const override;
   std::string Name() const override;
@@ -64,6 +72,8 @@ class WeightedEuclideanMetric : public Metric, public BoxDistanceMetric {
   static StatusOr<WeightedEuclideanMetric> Make(std::vector<double> weights);
 
   double Distance(const Vec& a, const Vec& b) const override;
+  void BatchDistance(const Vec& q, const VecBlock& block,
+                     std::span<double> out) const override;
   double MinDistToBox(const Vec& q, const Vec& lo,
                       const Vec& hi) const override;
   std::string Name() const override { return "weighted_euclidean"; }

@@ -31,6 +31,31 @@ class CountingMetric {
     return base_->Distance(a, b);
   }
 
+  /// Counted batched distance computation: charges `block.count`
+  /// dist_computations in one shot, then evaluates the whole block through
+  /// the base metric's kernel.
+  void BatchDistance(const Vec& q, const VecBlock& block,
+                     std::span<double> out) const {
+    if (stats_ != nullptr) stats_->dist_computations += block.count;
+    base_->BatchDistance(q, block, out);
+  }
+
+  /// Uncounted batched computation. The page kernel's avoidance-armed path
+  /// evaluates survivor blocks speculatively with this and then charges —
+  /// via ChargeDistances — exactly the computations the paper's scalar
+  /// algorithm would have performed, keeping the cost model's
+  /// `dist_computations` semantics independent of the batching.
+  void BatchDistanceUncounted(const Vec& q, const VecBlock& block,
+                              std::span<double> out) const {
+    base_->BatchDistance(q, block, out);
+  }
+
+  /// Charges `n` distance computations to the installed sink (used with
+  /// BatchDistanceUncounted; see above).
+  void ChargeDistances(uint64_t n) const {
+    if (stats_ != nullptr) stats_->dist_computations += n;
+  }
+
   /// Counted distance computation charged to the query-distance-matrix
   /// budget (the m(m-1)/2 term of the paper's CPU formula).
   double DistanceForMatrix(const Vec& a, const Vec& b) const {

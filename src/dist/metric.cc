@@ -1,8 +1,24 @@
 #include "dist/metric.h"
 
+#include <cassert>
+
 #include "dist/builtin_metrics.h"
 
 namespace msq {
+
+void Metric::BatchDistance(const Vec& q, const VecBlock& block,
+                           std::span<double> out) const {
+  assert(block.dim == q.size() && out.size() >= block.count);
+  // Scalar fallback: one virtual Distance call per row, through a reused
+  // Vec so metrics that only know `const Vec&` see identical inputs
+  // (copying preserves every bit).
+  Vec scratch(block.dim);
+  for (size_t i = 0; i < block.count; ++i) {
+    const Scalar* row = block.row(i);
+    scratch.assign(row, row + block.dim);
+    out[i] = Distance(q, scratch);
+  }
+}
 
 StatusOr<std::shared_ptr<Metric>> MakeMetric(const std::string& name) {
   if (name == "euclidean") {

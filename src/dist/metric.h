@@ -9,6 +9,7 @@
 #define MSQ_DIST_METRIC_H_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/status.h"
@@ -25,6 +26,24 @@ class Metric {
   /// triangle inequality). Both vectors must have the dimensionality this
   /// metric was constructed for.
   virtual double Distance(const Vec& a, const Vec& b) const = 0;
+
+  /// Distances from q to every row of `block`, written to out[0..count).
+  /// `out` must have at least block.count entries; block.dim must equal
+  /// q.size().
+  ///
+  /// Equality policy: BatchDistance must return *bit-identical* values to
+  /// Distance — not merely within 1 ulp. The shipped kernels achieve this
+  /// by keeping each row's accumulation order exactly that of the scalar
+  /// loop and batching *across rows* (independent accumulators per row),
+  /// which is what makes them fast without -ffast-math reassociation.
+  /// Exactness is what lets the page kernel swap freely between the scalar
+  /// and batched paths with identical answer sets; tests/kernel_test.cc
+  /// enforces it for every shipped metric.
+  ///
+  /// The default implementation is a scalar fallback (one Distance call per
+  /// row), correct for any metric.
+  virtual void BatchDistance(const Vec& q, const VecBlock& block,
+                             std::span<double> out) const;
 
   /// Short identifier, e.g. "euclidean".
   virtual std::string Name() const = 0;

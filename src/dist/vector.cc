@@ -33,4 +33,25 @@ Vec VecSub(const Vec& a, const Vec& b) {
   return out;
 }
 
+void BuildVecBlockTiles(const Scalar* rows, size_t dim, size_t count,
+                        Scalar* tiles) {
+  const size_t tiled = count - count % kVecBlockTileRows;
+  for (size_t g = 0; g * kVecBlockTileRows < tiled; ++g) {
+    const Scalar* group = rows + g * kVecBlockTileRows * dim;
+    Scalar* out = tiles + g * kVecBlockTileRows * dim;
+    for (size_t r = 0; r < kVecBlockTileRows; ++r) {
+      for (size_t d = 0; d < dim; ++d) {
+        out[d * kVecBlockTileRows + r] = group[r * dim + d];
+      }
+    }
+  }
+}
+
+std::vector<Scalar> MakeVecBlockTiles(const Scalar* rows, size_t dim,
+                                      size_t count) {
+  std::vector<Scalar> tiles((count - count % kVecBlockTileRows) * dim);
+  BuildVecBlockTiles(rows, dim, count, tiles.data());
+  return tiles;
+}
+
 }  // namespace msq

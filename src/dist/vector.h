@@ -30,6 +30,55 @@ using ObjectId = uint32_t;
 /// Sentinel for "no object".
 inline constexpr ObjectId kInvalidObjectId = 0xffffffffu;
 
+/// Rows per tile group of a VecBlock's optional tile-major mirror (see
+/// VecBlock::tiles). 16 doubles fill two AVX-512 (four AVX2) accumulator
+/// registers per chain in the batched kernels.
+inline constexpr size_t kVecBlockTileRows = 16;
+
+/// Non-owning view of `count` feature vectors stored contiguously in
+/// row-major order (row i occupies [data + i*dim, data + (i+1)*dim)).
+/// This is the unit the batched distance kernels stream over: one page's
+/// objects packed back to back, so the inner loops touch sequential memory
+/// instead of chasing one std::vector header per object.
+struct VecBlock {
+  const Scalar* data = nullptr;
+  size_t dim = 0;
+  size_t count = 0;
+
+  /// Optional tile-major mirror of the same rows: groups of
+  /// kVecBlockTileRows consecutive rows stored dimension-major within the
+  /// group — element (i, d) of group g = i / kVecBlockTileRows lives at
+  /// tiles[g * dim * kVecBlockTileRows + d * kVecBlockTileRows +
+  /// i % kVecBlockTileRows]. Only full groups are stored (the mirror
+  /// covers the first count - count % kVecBlockTileRows rows); trailing
+  /// rows are reached through row(). When non-null, the batched kernels
+  /// read lanes of kVecBlockTileRows same-dimension components with unit
+  /// stride instead of gathering across row pointers — that contiguity is
+  /// what lets the ISA-cloned kernels vectorize at full register width.
+  /// Null when the producer has no mirror (e.g. gathered scratch rows);
+  /// kernels then fall back to the row-major path. Both paths accumulate
+  /// each row in the same per-dimension order, so results are identical.
+  const Scalar* tiles = nullptr;
+
+  const Scalar* row(size_t i) const { return data + i * dim; }
+  bool empty() const { return count == 0; }
+
+  /// Rows covered by the tile mirror (0 when tiles == nullptr).
+  size_t tiled_count() const {
+    return tiles == nullptr ? 0 : count - count % kVecBlockTileRows;
+  }
+};
+
+/// Writes the tile-major mirror of `count` row-major rows into `tiles`
+/// (see VecBlock::tiles for the layout). `tiles` must hold
+/// (count - count % kVecBlockTileRows) * dim elements.
+void BuildVecBlockTiles(const Scalar* rows, size_t dim, size_t count,
+                        Scalar* tiles);
+
+/// Convenience wrapper: allocates and fills the tile mirror.
+std::vector<Scalar> MakeVecBlockTiles(const Scalar* rows, size_t dim,
+                                      size_t count);
+
 /// Renders "(v0, v1, ...)" with limited precision for logs and examples.
 std::string VecToString(const Vec& v, size_t max_components = 8);
 

@@ -523,6 +523,7 @@ void MTreeBackend::Finalize() {
       options_.buffer_fraction *
       static_cast<double>(shape.num_leaves + shape.num_dir_nodes)));
   layout_ = DataLayout::FromGroups(std::move(groups), buffer_pages);
+  layout_.MaterializeRows(dataset_->dim(), dataset_->objects());
   layout_.SetMetricsSink(metrics_sink_);
   finalized_ = true;
 }
@@ -619,6 +620,13 @@ const std::vector<ObjectId>& MTreeBackend::ReadPage(PageId page,
                                                     QueryStats* stats) {
   if (!finalized_) Finalize();
   return layout_.Read(page, stats);
+}
+
+Status MTreeBackend::ReadPageBlockChecked(PageId page, QueryStats* stats,
+                                          PageBlock* out) {
+  if (!finalized_) Finalize();
+  layout_.ReadBlock(page, stats, out);
+  return Status::OK();
 }
 
 size_t MTreeBackend::NumDataPages() const {

@@ -17,6 +17,16 @@ MetricsSink::MetricsSink(MetricsRegistry* registry, Tracer* tracer)
   counters_.triangle_avoided = registry_->GetCounter(
       "msq_engine_triangle_avoided_total",
       "Distance computations avoided via Lemma 1 / Lemma 2");
+  counters_.kernel_batches = registry_->GetCounter(
+      "msq_kernel_batches_total",
+      "Batched distance evaluations issued by the page kernel");
+  counters_.kernel_batched_dists = registry_->GetCounter(
+      "msq_kernel_batched_dists_total",
+      "Distances evaluated through the page kernel's batched calls");
+  counters_.kernel_speculative_dists = registry_->GetCounter(
+      "msq_kernel_speculative_dists_total",
+      "Speculative batched evaluations discarded by the kernel's replay "
+      "pass (computed, then proven avoidable)");
   counters_.random_page_reads = registry_->GetCounter(
       "msq_engine_random_page_reads_total",
       "Data pages fetched with a random disk access (I/O cost term)");
@@ -50,6 +60,9 @@ void MetricsSink::PublishQueryStats(const QueryStats& delta) const {
   counters_.matrix_dist_computations->Add(delta.matrix_dist_computations);
   counters_.triangle_tries->Add(delta.triangle_tries);
   counters_.triangle_avoided->Add(delta.triangle_avoided);
+  counters_.kernel_batches->Add(delta.kernel_batches);
+  counters_.kernel_batched_dists->Add(delta.kernel_batched_dists);
+  counters_.kernel_speculative_dists->Add(delta.kernel_speculative_dists);
   counters_.random_page_reads->Add(delta.random_page_reads);
   counters_.seq_page_reads->Add(delta.seq_page_reads);
   counters_.buffer_hits->Add(delta.buffer_hits);

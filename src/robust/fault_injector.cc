@@ -112,4 +112,15 @@ StatusOr<const std::vector<ObjectId>*> FaultInjectingBackend::ReadPageChecked(
   return inner_->ReadPageChecked(page, stats);
 }
 
+Status FaultInjectingBackend::ReadPageBlockChecked(PageId page,
+                                                   QueryStats* stats,
+                                                   PageBlock* out) {
+  Status st = injector_->OnPageRead(page);
+  if (!st.ok()) {
+    inner_->NoteFailedRead(stats);
+    return st;
+  }
+  return inner_->ReadPageBlockChecked(page, stats, out);
+}
+
 }  // namespace msq::robust

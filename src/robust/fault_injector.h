@@ -118,6 +118,8 @@ class FaultInjectingBackend : public QueryBackend {
   }
   StatusOr<const std::vector<ObjectId>*> ReadPageChecked(
       PageId page, QueryStats* stats) override;
+  Status ReadPageBlockChecked(PageId page, QueryStats* stats,
+                              PageBlock* out) override;
   size_t NumDataPages() const override { return inner_->NumDataPages(); }
   size_t NumObjects() const override { return inner_->NumObjects(); }
   const Vec& ObjectVec(ObjectId id) const override {

@@ -41,6 +41,7 @@ StatusOr<std::unique_ptr<LinearScanBackend>> LinearScanBackend::Build(
   DataLayout layout =
       DataLayout::Sequential(dataset->size(), per_page, buffer_pages);
   MSQ_RETURN_IF_ERROR(layout.CheckInvariants());
+  layout.MaterializeRows(dataset->dim(), dataset->objects());
   return std::unique_ptr<LinearScanBackend>(
       new LinearScanBackend(std::move(dataset), std::move(layout)));
 }

@@ -35,6 +35,11 @@ class LinearScanBackend : public QueryBackend {
   double PageMinDist(PageId page, const Query& q, QueryStats* stats) override;
   const std::vector<ObjectId>& ReadPage(PageId page,
                                         QueryStats* stats) override;
+  Status ReadPageBlockChecked(PageId page, QueryStats* stats,
+                              PageBlock* out) override {
+    layout_.ReadBlock(page, stats, out);
+    return Status::OK();
+  }
   size_t NumDataPages() const override { return layout_.num_pages(); }
   size_t NumObjects() const override { return dataset_->size(); }
   const Vec& ObjectVec(ObjectId id) const override {

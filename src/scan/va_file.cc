@@ -70,6 +70,7 @@ void VaFileBackend::BuildApproximations() {
   const size_t buffer_pages = static_cast<size_t>(
       std::ceil(options_.buffer_fraction * static_cast<double>(num_pages)));
   layout_ = DataLayout::Sequential(n, per_page, buffer_pages);
+  layout_.MaterializeRows(dim, dataset_->objects());
 
   // Approximation file size: bits_per_dim bits per component.
   const size_t approx_bytes = (n * dim * options_.bits_per_dim + 7) / 8;

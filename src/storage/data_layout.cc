@@ -52,12 +52,41 @@ DataLayout DataLayout::FromGroups(std::vector<std::vector<ObjectId>> groups,
   return layout;
 }
 
+void DataLayout::MaterializeRows(size_t dim, const std::vector<Vec>& objects) {
+  dim_ = dim;
+  row_data_.clear();
+  row_data_.reserve(pages_.size());
+  tile_data_.clear();
+  tile_data_.reserve(pages_.size());
+  for (const std::vector<ObjectId>& page : pages_) {
+    std::vector<Scalar> rows;
+    rows.reserve(page.size() * dim);
+    for (ObjectId id : page) {
+      assert(id < objects.size() && objects[id].size() == dim);
+      rows.insert(rows.end(), objects[id].begin(), objects[id].end());
+    }
+    tile_data_.push_back(MakeVecBlockTiles(rows.data(), dim, page.size()));
+    row_data_.push_back(std::move(rows));
+  }
+}
+
 const std::vector<ObjectId>& DataLayout::Read(PageId page, QueryStats* stats) {
   assert(page < pages_.size());
   if (!buffer_.Access(page, stats)) {
     disk_.RecordRead(page, stats);
   }
   return pages_[page];
+}
+
+void DataLayout::ReadBlock(PageId page, QueryStats* stats, PageBlock* out) {
+  assert(page < pages_.size() && page < row_data_.size());
+  if (!buffer_.Access(page, stats)) {
+    disk_.RecordRead(page, stats);
+  }
+  const std::vector<ObjectId>& ids = pages_[page];
+  out->ids = ids.data();
+  out->vecs = VecBlock{row_data_[page].data(), dim_, ids.size(),
+                       tile_data_[page].data()};
 }
 
 const std::vector<ObjectId>& DataLayout::Peek(PageId page) const {

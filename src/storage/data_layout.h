@@ -19,6 +19,18 @@
 
 namespace msq {
 
+/// Non-owning view of one data page's payload: the objects' feature
+/// vectors packed contiguously (row-major) with the parallel ObjectId
+/// array. `vecs.row(i)` is the vector of object `ids[i]`. This is what the
+/// page kernel streams batched distance computations over — sequential
+/// memory instead of one ObjectVec pointer chase per object.
+struct PageBlock {
+  VecBlock vecs;
+  const ObjectId* ids = nullptr;
+
+  size_t size() const { return vecs.count; }
+};
+
 /// Maps pages to object lists and meters access to them.
 class DataLayout {
  public:
@@ -34,9 +46,24 @@ class DataLayout {
   static DataLayout FromGroups(std::vector<std::vector<ObjectId>> groups,
                                size_t buffer_pages);
 
+  /// Packs each page's object vectors into a contiguous row-major block so
+  /// ReadBlock can hand out PageBlock views. `objects[id]` must be the
+  /// vector of object `id` (every id stored in the layout), all of size
+  /// `dim`. Idempotent: re-invoke after the page map changes (tree
+  /// re-finalization).
+  void MaterializeRows(size_t dim, const std::vector<Vec>& objects);
+
+  /// True once MaterializeRows has run for the current page map.
+  bool has_rows() const { return !row_data_.empty() || pages_.empty(); }
+
   /// Objects stored on `page`. Charges the access (buffer hit or disk read)
   /// to `stats`.
   const std::vector<ObjectId>& Read(PageId page, QueryStats* stats);
+
+  /// Contiguous view of `page` (requires MaterializeRows). Charges the
+  /// access exactly like Read — one page access, whether the caller takes
+  /// the id list or the packed rows.
+  void ReadBlock(PageId page, QueryStats* stats, PageBlock* out);
 
   /// Objects stored on `page`, without any accounting (for tests/tools).
   const std::vector<ObjectId>& Peek(PageId page) const;
@@ -67,6 +94,14 @@ class DataLayout {
 
  private:
   std::vector<std::vector<ObjectId>> pages_;
+  /// Per-page packed rows (row i of page p is the vector of pages_[p][i]);
+  /// empty until MaterializeRows.
+  std::vector<std::vector<Scalar>> row_data_;
+  /// Per-page tile-major mirror of row_data_ (see VecBlock::tiles), built
+  /// alongside it so ReadBlock hands out blocks the ISA-cloned kernels can
+  /// stream at full vector width.
+  std::vector<std::vector<Scalar>> tile_data_;
+  size_t dim_ = 0;
   std::vector<PageId> page_of_;
   BufferPool buffer_;
   DiskModel disk_;

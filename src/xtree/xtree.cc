@@ -757,6 +757,7 @@ void XTreeBackend::Finalize() {
       std::ceil(options_.buffer_fraction *
                 static_cast<double>(shape.total_blocks)));
   layout_ = DataLayout::FromGroups(std::move(groups), buffer_pages);
+  layout_.MaterializeRows(dataset_->dim(), dataset_->objects());
   layout_.SetMetricsSink(metrics_sink_);
   finalized_ = true;
 }
@@ -832,6 +833,13 @@ const std::vector<ObjectId>& XTreeBackend::ReadPage(PageId page,
                                                     QueryStats* stats) {
   if (!finalized_) Finalize();
   return layout_.Read(page, stats);
+}
+
+Status XTreeBackend::ReadPageBlockChecked(PageId page, QueryStats* stats,
+                                          PageBlock* out) {
+  if (!finalized_) Finalize();
+  layout_.ReadBlock(page, stats, out);
+  return Status::OK();
 }
 
 size_t XTreeBackend::NumDataPages() const {

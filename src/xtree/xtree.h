@@ -97,6 +97,8 @@ class XTreeBackend : public QueryBackend {
   double PageMinDist(PageId page, const Query& q, QueryStats* stats) override;
   const std::vector<ObjectId>& ReadPage(PageId page,
                                         QueryStats* stats) override;
+  Status ReadPageBlockChecked(PageId page, QueryStats* stats,
+                              PageBlock* out) override;
   size_t NumDataPages() const override;
   size_t NumObjects() const override { return dataset_->size(); }
   const Vec& ObjectVec(ObjectId id) const override {
