@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Drives the micro_robust failover scenario and validates its contract.
+
+Runs the bench binary once per crashed server (fixed seed, run_bench=0 so
+only the failover section executes) sweeping replication_factor in
+{1, 2, 3}, then checks every JSON record it emitted:
+
+  r == 1   the crashed server's partition — and only it — is missing
+           (missing_partitions == 1, complete == 0, no failover fired).
+  r >= 2   the crash is invisible: complete == 1, bit_identical == 1,
+           failovers >= 1, replica_reissues >= 1.
+  always   restored_complete == 1 — after Restore() the cluster serves
+           complete, bit-identical answers again.
+
+The binary already enforces the same contract and exits non-zero on a
+violation; this script re-checks the records independently (a bug that
+makes the binary exit 0 *and* emit healthy-looking records must survive
+two implementations) and sweeps the crashed server, which the single CI
+bench invocation does not.
+
+Usage:
+  check_failover.py --binary build/bench/micro_robust [--servers 4]
+      [--r-values 1,2,3] [--workdir DIR]
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"check_failover: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_scenario(binary, crash_server, r_values, servers, json_path):
+    cmd = [
+        binary,
+        "run_bench=0",
+        f"servers={servers}",
+        f"crash_server={crash_server}",
+        f"r_values={r_values}",
+        f"json={json_path}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(
+            f"{' '.join(cmd)} exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read scenario JSON {json_path}: {e}")
+    if not isinstance(records, list) or not records:
+        fail(f"{json_path}: expected a non-empty JSON array of records")
+    return records
+
+
+def check_record(rec, crash_server):
+    label = (
+        f"crash_server={crash_server} "
+        f"replication_factor={rec.get('replication_factor')}"
+    )
+    for key in (
+        "replication_factor",
+        "complete",
+        "bit_identical",
+        "missing_partitions",
+        "failovers",
+        "replica_reissues",
+        "restored_complete",
+    ):
+        if not isinstance(rec.get(key), int):
+            fail(f"[{label}] record lacks integer field {key!r}: {rec}")
+    r = rec["replication_factor"]
+    if r >= 2:
+        if rec["complete"] != 1 or rec["bit_identical"] != 1:
+            fail(
+                f"[{label}] r >= 2 must survive a single crash with "
+                f"complete, bit-identical answers: {rec}"
+            )
+        if rec["missing_partitions"] != 0:
+            fail(f"[{label}] r >= 2 must leave no partition missing: {rec}")
+        if rec["failovers"] < 1 or rec["replica_reissues"] < 1:
+            fail(
+                f"[{label}] the crash must be visible as at least one "
+                f"failover and replica re-issue: {rec}"
+            )
+    else:
+        if rec["missing_partitions"] != 1 or rec["complete"] != 0:
+            fail(
+                f"[{label}] r = 1 must lose exactly the crashed server's "
+                f"partition: {rec}"
+            )
+        if rec["failovers"] != 0 or rec["replica_reissues"] != 0:
+            fail(
+                f"[{label}] r = 1 has no replica to fail over to: {rec}"
+            )
+    if rec["restored_complete"] != 1:
+        fail(f"[{label}] restored server must serve complete answers: {rec}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", required=True,
+                    help="path to the micro_robust bench binary")
+    ap.add_argument("--servers", type=int, default=4)
+    ap.add_argument("--r-values", default="1,2,3")
+    ap.add_argument("--workdir", default=None,
+                    help="where to write the per-sweep JSON files "
+                         "(default: a temporary directory)")
+    args = ap.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="check_failover_")
+    os.makedirs(workdir, exist_ok=True)
+
+    expected_rows = len([r for r in args.r_values.split(",") if r])
+    checked = 0
+    for crash_server in range(args.servers):
+        json_path = os.path.join(workdir, f"failover_crash{crash_server}.json")
+        records = run_scenario(args.binary, crash_server, args.r_values,
+                               args.servers, json_path)
+        rows = [r for r in records if r.get("section") == "failover"]
+        if len(rows) != expected_rows:
+            fail(
+                f"crash_server={crash_server}: expected {expected_rows} "
+                f"failover records, got {len(rows)}"
+            )
+        for rec in rows:
+            check_record(rec, crash_server)
+            checked += 1
+
+    print(
+        f"check_failover: OK ({checked} scenario record(s) across "
+        f"{args.servers} crashed servers)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

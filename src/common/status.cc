@@ -23,6 +23,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

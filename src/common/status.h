@@ -25,6 +25,7 @@ class Status {
     kResourceExhausted,
     kInternal,
     kDeadlineExceeded,
+    kUnavailable,
   };
 
   /// Default-constructed status is OK.
@@ -58,6 +59,13 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
   }
+  /// A server (or backend) is down. Unlike a transient kIOError — which a
+  /// retry against the same server may cure — kUnavailable is deterministic
+  /// until the server is restored, so retry budgets skip it and failover
+  /// layers route around it instead.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -73,6 +81,7 @@ class Status {
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable "<CODE>: <message>" string, "OK" when ok().
   std::string ToString() const;

@@ -114,7 +114,13 @@ inline void BatchRows(const Vec& q, const VecBlock& block,
 // is built with -ffp-contract=off (see src/CMakeLists.txt): without it the
 // AVX-512 clone would contract `acc + d * d` into an FMA, whose single
 // rounding differs from the scalar path's separate multiply and add.
-#if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__)
+// Sanitizer builds skip the cloning: target_clones emits glibc ifuncs,
+// whose resolvers run during relocation — before the sanitizer runtime
+// has initialized its TLS — and crash TSan-instrumented binaries at
+// startup on some glibc versions. The default clone is bit-identical
+// anyway, so sanitizer jobs lose nothing but speed.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
 #define MSQ_KERNEL_ISA_CLONES \
   __attribute__((target_clones("avx512f", "avx2", "default")))
 #else

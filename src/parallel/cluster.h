@@ -1,13 +1,23 @@
-// SharedNothingCluster: the parallel query processor of Sec. 5.3.
+// SharedNothingCluster: the parallel query processor of Sec. 5.3, extended
+// with r-way replicated declustering and automatic failover.
 //
-// The dataset is declustered over s servers; every server holds its own
-// complete database organization (scan / X-tree / M-tree / VA-file) over
-// its partition, executes the same multiple similarity queries on its
-// local data on its own thread, and the coordinator merges the per-server
-// answers. Communication cost is negligible in the paper's setting, so the
-// modeled parallel elapsed time is the *maximum* per-server cost — each
-// server pays its own query-distance matrix initialization, reproducing
-// the quadratic-in-m effect the paper reports for large m.
+// The dataset is declustered into one partition per server; with
+// ClusterOptions::replication_factor = r each partition additionally lives
+// on r distinct servers (chained placement, parallel/decluster.h), every
+// replica holding its own complete database organization over the same
+// partition subset. A batch normally executes each partition on its
+// primary; when a server fails past its retry budget, the coordinator
+// re-issues only that server's *partitions* to live replicas, so
+// ExecuteMultipleAll returns complete — and, because every replica of a
+// partition is a bit-identical database, bit-identical — answers whenever
+// at least one replica of every partition survives. Per-server health is
+// tracked by a consecutive-failure circuit breaker with half-open probing,
+// fed by the same retry machinery that absorbs transient faults.
+//
+// Communication cost is negligible in the paper's setting, so the modeled
+// parallel elapsed time is the *maximum* per-server cost — each server
+// pays its own query-distance matrix initialization, reproducing the
+// quadratic-in-m effect the paper reports for large m.
 
 #ifndef MSQ_PARALLEL_CLUSTER_H_
 #define MSQ_PARALLEL_CLUSTER_H_
@@ -15,6 +25,8 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -26,7 +38,8 @@
 namespace msq {
 
 /// Retry behavior for transient per-server failures (IOError — a flaky page
-/// read; crashed servers keep failing and are not retried past the budget).
+/// read). A crashed server fails deterministically (kUnavailable) and is
+/// not retried at all: the failover layer routes around it instead.
 struct ClusterRetryPolicy {
   /// Extra attempts after the first failure; 0 disables retrying.
   int max_retries = 0;
@@ -34,9 +47,39 @@ struct ClusterRetryPolicy {
   std::chrono::microseconds initial_backoff{0};
 };
 
+/// Per-server consecutive-failure circuit breaker. A server whose batch
+/// executions keep failing (each counted *after* the retry budget was
+/// spent) is taken out of replica selection entirely, so later batches
+/// stop burning attempts on it; after a cooldown one probe is let through
+/// (half-open) and its outcome closes or re-opens the breaker.
+struct CircuitBreakerOptions {
+  /// Consecutive failed attempts that trip the breaker open.
+  /// 0 disables the breaker (every server is always eligible).
+  int failure_threshold = 3;
+  /// How long an open breaker refuses work before admitting the half-open
+  /// probe. Zero admits a probe on the very next call (deterministic, the
+  /// mode the failover tests use).
+  std::chrono::microseconds open_cooldown{0};
+};
+
+/// Health state of one server's circuit breaker.
+enum class BreakerState {
+  kClosed = 0,    ///< healthy, receives work
+  kOpen = 1,      ///< tripped, skipped during replica selection
+  kHalfOpen = 2,  ///< cooldown elapsed, exactly one probe in flight
+};
+
+std::string BreakerStateName(BreakerState state);
+
 struct ClusterOptions {
   size_t num_servers = 4;
   DeclusterStrategy strategy = DeclusterStrategy::kRoundRobin;
+  /// Each partition is stored on this many distinct servers (chained
+  /// placement: partition p lives on servers p, p+1, ..., p+r-1 mod s).
+  /// 1 — the default — reproduces the unreplicated layout; any value up
+  /// to num_servers buys tolerance of r-1 arbitrary server losses at r
+  /// times the storage.
+  size_t replication_factor = 1;
   /// Per-server database configuration (backend, page size, batch limits).
   DatabaseOptions server_options;
   /// Run server queries on real threads (off: sequential execution; the
@@ -50,57 +93,95 @@ struct ClusterOptions {
   ThreadPool* shared_pool = nullptr;
   uint64_t seed = 17;
   /// Observability sink for the `msq_cluster_*` instruments (per-server
-  /// wall time, straggler skew) and per-server spans; also inherited by a
-  /// cluster-owned pool. nullptr disables cluster instrumentation.
+  /// wall time, straggler skew, failovers, replica re-issues, breaker
+  /// states) and per-server spans; also inherited by a cluster-owned
+  /// pool. nullptr disables cluster instrumentation.
   const obs::MetricsSink* metrics = obs::MetricsSink::Default();
   /// Bounded retries with exponential backoff for transient (IOError)
   /// server failures. Retries are counted in msq_cluster_retries_total.
   ClusterRetryPolicy retry;
+  /// Consecutive-failure circuit breaker applied per server.
+  CircuitBreakerOptions breaker;
   /// Graceful degradation: when true, ExecuteMultipleAll merges the
-  /// answers of the surviving servers instead of failing the whole call —
-  /// it fails only when *every* server failed. Use
+  /// answers of the surviving partitions instead of failing the whole
+  /// call — it fails only when *every* partition is lost. Use
   /// ExecuteMultipleAllPartial to learn which partitions are missing.
   bool partial_results = false;
   /// Per-server fault injectors (robust/fault_injector.h): entry i wraps
-  /// server i's backend. Shorter than num_servers leaves the remaining
-  /// servers fault-free; empty (the default) injects nothing anywhere.
+  /// the backend of every replica database *hosted on* server i, so
+  /// crashing injector i takes down the whole server, not one partition.
+  /// Shorter than num_servers leaves the remaining servers fault-free;
+  /// empty (the default) injects nothing anywhere.
   std::vector<std::shared_ptr<robust::FaultInjector>> server_faults;
 };
 
 /// Outcome of a degraded (fault-tolerant) cluster batch execution.
 struct ClusterBatchResult {
-  /// Merged global answers over the *surviving* servers. With any server
-  /// missing, kNN answers are best-effort: a missing partition may hold
-  /// true neighbors.
+  /// Merged global answers over the partitions that produced a result on
+  /// *some* replica. With any partition missing, kNN answers are
+  /// best-effort: a missing partition may hold true neighbors.
   std::vector<AnswerSet> answers;
-  /// Indices of servers whose partitions are absent from `answers`
-  /// (ascending). Empty means the answers are complete.
+  /// Partitions absent from `answers` (ascending) — every replica failed
+  /// or was refused by its breaker. Partition p's primary is server p, so
+  /// with replication_factor = 1 this is exactly the failed servers; with
+  /// r > 1 an entry means true quorum loss for that partition. Empty
+  /// means the answers are complete.
   std::vector<size_t> missing_servers;
-  /// Final per-server status, after retries.
+  /// Final per-server status: OK if the server's last attempt in this
+  /// call succeeded (or no work was issued to it), otherwise the last
+  /// failure. A server that succeeded only after retries is OK here —
+  /// `server_attempts` exposes the retries.
   std::vector<Status> server_status;
+  /// Batch-execution attempts per server in this call, including
+  /// transient-fault retries and failover re-issues. 0 means no work was
+  /// issued (no partition chose it, or its breaker was open). OK status
+  /// with attempts > 1 identifies a server that succeeded only after
+  /// retries.
+  std::vector<int> server_attempts;
+  /// Server-loss events in this call: servers that failed past the retry
+  /// budget and had their partitions re-issued to replicas.
+  uint64_t failovers = 0;
+  /// Partition executions issued to a non-primary replica in this call
+  /// (after a failure, or because the preferred server's breaker was
+  /// open).
+  uint64_t replica_reissues = 0;
 };
 
 /// A simulated shared-nothing cluster of MetricDatabases.
+///
+/// Batch execution (ExecuteMultipleAll / ExecuteMultipleAllPartial) is
+/// thread-safe: concurrent batches serialize per replica database (the
+/// engines are single-threaded) and the breaker/health state is
+/// internally synchronized. The accounting surface (ServerStats,
+/// Modeled*Millis, ResetAll) is not synchronized against in-flight
+/// batches — read it quiescent.
 class SharedNothingCluster {
  public:
-  /// Declusters `dataset` and builds one server database per partition.
+  /// Declusters `dataset` into one partition per server, places r replicas
+  /// of each partition (chained), and builds one server database per
+  /// (partition, replica).
   static StatusOr<std::unique_ptr<SharedNothingCluster>> Create(
       const Dataset& dataset, std::shared_ptr<const Metric> metric,
       const ClusterOptions& options);
 
-  /// Executes the batch on every server (each completes all m queries on
-  /// its local data) and merges the per-server answers into global answer
-  /// sets honoring each query's type. Answer object ids are global.
-  /// Strict by default: any server failure (after retries) fails the call
-  /// with a status naming *every* failed server. With
-  /// ClusterOptions::partial_results it degrades instead — merging the
-  /// survivors and failing only when no server survived.
+  /// Executes the batch on every partition (each replica completes all m
+  /// queries on its local data) and merges the per-partition answers into
+  /// global answer sets honoring each query's type. Answer object ids are
+  /// global. A server failing past its retry budget triggers failover:
+  /// its partitions are re-issued to live replicas, so the call succeeds
+  /// with answers bit-identical to the fault-free run whenever one
+  /// replica of every partition survives. Strict by default: any *lost
+  /// partition* (all replicas down) fails the call with a status naming
+  /// every lost partition. With ClusterOptions::partial_results it
+  /// degrades instead — merging the survivors and failing only when no
+  /// partition survived.
   StatusOr<std::vector<AnswerSet>> ExecuteMultipleAll(
       const std::vector<Query>& queries);
 
   /// Fault-tolerant execution: never fails on server errors (only on an
-  /// empty cluster/batch). Merges the surviving servers' answers and
-  /// reports the missing partitions and per-server statuses explicitly.
+  /// empty cluster/batch). Merges the surviving partitions' answers and
+  /// reports the missing partitions, per-server statuses and attempt
+  /// counts explicitly.
   StatusOr<ClusterBatchResult> ExecuteMultipleAllPartial(
       const std::vector<Query>& queries);
 
@@ -108,19 +189,47 @@ class SharedNothingCluster {
   uint64_t retries_attempted() const {
     return retries_attempted_.load(std::memory_order_relaxed);
   }
+  /// Failover events so far: servers whose partitions were re-issued to
+  /// replicas after the retry budget was exhausted (all calls).
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
 
-  size_t num_servers() const { return servers_.size(); }
-  MetricDatabase& server(size_t i) { return *servers_[i]; }
+  size_t num_servers() const { return num_servers_; }
+  size_t replication_factor() const { return replication_factor_; }
+  /// Primary replica database of partition i (hosted on server i).
+  MetricDatabase& server(size_t i) { return *replicas_[i][0].db; }
+  /// Replica j of partition p (j indexes placement()[p]).
+  MetricDatabase& replica(size_t p, size_t j) { return *replicas_[p][j].db; }
   const std::vector<std::vector<ObjectId>>& partitions() const {
     return partitions_;
   }
+  /// partition -> the servers hosting its replicas; entry 0 is the
+  /// primary (== the partition index).
+  const std::vector<std::vector<size_t>>& placement() const {
+    return placement_;
+  }
 
-  /// Cumulative per-server statistics (since the last ResetAll).
+  /// Current breaker state of one server.
+  BreakerState breaker_state(size_t server) const;
+  /// True when every partition has at least one replica whose breaker
+  /// would currently admit work (closed, or open past its cooldown, or
+  /// half-open with the probe slot free).
+  bool HasQuorum() const { return QuorumStatus().ok(); }
+  /// OK under quorum, otherwise ResourceExhausted naming the partitions
+  /// with no admissible replica. Designed to plug into
+  /// BatchSchedulerOptions::admission_check so a front-end sheds work the
+  /// cluster could only answer partially.
+  Status QuorumStatus() const;
+
+  /// Cumulative per-server statistics (since the last ResetAll): the sum
+  /// over every replica database hosted on that server. With
+  /// replication_factor = 1 this is exactly the per-partition stats.
   std::vector<QueryStats> ServerStats() const;
   /// Modeled parallel elapsed time: max over servers of modeled total
-  /// (I/O + CPU) time.
+  /// (I/O + CPU) time of the replicas hosted there.
   double ModeledElapsedMillis() const;
-  /// Sum of all servers' modeled time (the work, not the makespan).
+  /// Sum of all replicas' modeled time (the work, not the makespan).
   double ModeledTotalWorkMillis() const;
 
   void ResetAll();
@@ -128,33 +237,83 @@ class SharedNothingCluster {
  private:
   SharedNothingCluster() = default;
 
-  /// Runs the batch on every server (with the retry policy applied) and
-  /// fills per-server answers and statuses; observes the wall-time
-  /// histograms. local/status must have num_servers() slots.
-  void RunServers(const std::vector<Query>& queries,
-                  std::vector<std::vector<AnswerSet>>* local,
-                  std::vector<Status>* status);
-  /// Merges the answers of servers whose status is OK (ids translated to
-  /// global, (distance, id) order, query-type bounds re-applied).
-  std::vector<AnswerSet> MergeSurvivors(
-      const std::vector<Query>& queries,
-      const std::vector<std::vector<AnswerSet>>& local,
-      const std::vector<Status>& status) const;
+  /// One replica database plus the mutex serializing batch executions on
+  /// it (the engines are single-threaded; concurrent cluster batches must
+  /// line up per replica).
+  struct Replica {
+    std::unique_ptr<MetricDatabase> db;
+    std::unique_ptr<std::mutex> mu;
+  };
 
-  std::vector<std::unique_ptr<MetricDatabase>> servers_;
+  /// Breaker bookkeeping of one server.
+  struct ServerHealth {
+    mutable std::mutex mu;
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point opened_at{};
+    bool probe_inflight = false;
+  };
+
+  /// Everything one ExecuteMultipleAll* call produces before merging.
+  struct CallOutcome {
+    std::vector<std::vector<AnswerSet>> partition_answers;
+    std::vector<Status> partition_status;
+    std::vector<Status> server_status;
+    std::vector<int> server_attempts;
+    uint64_t failovers = 0;
+    uint64_t replica_reissues = 0;
+  };
+
+  /// Runs the batch over all partitions with retry + failover applied and
+  /// fills the outcome; observes the wall-time histograms.
+  void RunPartitions(const std::vector<Query>& queries, CallOutcome* out);
+
+  /// Executes the batch on one replica with the transient-retry policy.
+  /// `attempts` is incremented once per execution attempt.
+  StatusOr<std::vector<AnswerSet>> ExecuteReplica(
+      size_t partition, size_t replica_idx,
+      const std::vector<Query>& queries, int* attempts);
+
+  /// Breaker gate: may `server` receive work right now? Transitions
+  /// open -> half-open when the cooldown elapsed and reserves the single
+  /// half-open probe slot for the caller.
+  bool AdmitServer(size_t server);
+  /// Records one attempt outcome into the server's breaker.
+  void RecordServerResult(size_t server, bool ok);
+  /// Breaker admissibility without reserving the probe slot (QuorumStatus).
+  bool ServerAdmissible(size_t server) const;
+  void SetBreakerGauge(size_t server, BreakerState state);
+
+  /// Merges the answers of partitions whose status is OK (ids translated
+  /// to global, (distance, id) order, query-type bounds re-applied).
+  std::vector<AnswerSet> MergePartitions(
+      const std::vector<Query>& queries,
+      const std::vector<std::vector<AnswerSet>>& partition_answers,
+      const std::vector<Status>& partition_status) const;
+
+  size_t num_servers_ = 0;
+  size_t replication_factor_ = 1;
+  std::vector<std::vector<Replica>> replicas_;     // [partition][replica]
   std::vector<std::vector<ObjectId>> partitions_;  // local id -> global id
+  std::vector<std::vector<size_t>> placement_;     // partition -> servers
+  std::vector<std::unique_ptr<ServerHealth>> health_;  // per server
   size_t dim_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;  // set when no shared pool given
   ThreadPool* pool_ = nullptr;              // null: sequential execution
   ClusterRetryPolicy retry_;
+  CircuitBreakerOptions breaker_;
   bool partial_results_ = false;
   std::atomic<uint64_t> retries_attempted_{0};
+  std::atomic<uint64_t> failovers_{0};
 
   // Instruments, resolved once at Create (null when metrics is null).
   obs::Tracer* tracer_ = nullptr;
   obs::Histogram* server_micros_ = nullptr;
   obs::Histogram* skew_micros_ = nullptr;
   obs::Counter* retries_total_ = nullptr;
+  obs::Counter* failovers_total_ = nullptr;
+  obs::Counter* reissues_total_ = nullptr;
+  std::vector<obs::Gauge*> breaker_gauges_;  // per server; may be empty
 };
 
 }  // namespace msq

@@ -85,6 +85,28 @@ StatusOr<std::vector<std::vector<ObjectId>>> DeclusterDataset(
   return partitions;
 }
 
+StatusOr<std::vector<std::vector<size_t>>> PlaceReplicas(
+    size_t num_partitions, size_t num_servers, size_t replication_factor) {
+  if (num_partitions == 0 || num_servers == 0) {
+    return Status::InvalidArgument(
+        "replica placement needs at least one partition and one server");
+  }
+  if (replication_factor == 0 || replication_factor > num_servers) {
+    return Status::InvalidArgument(
+        "replication_factor must be in [1, num_servers], got " +
+        std::to_string(replication_factor) + " for " +
+        std::to_string(num_servers) + " servers");
+  }
+  std::vector<std::vector<size_t>> placement(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    placement[p].reserve(replication_factor);
+    for (size_t j = 0; j < replication_factor; ++j) {
+      placement[p].push_back((p + j) % num_servers);
+    }
+  }
+  return placement;
+}
+
 StatusOr<std::vector<std::vector<ObjectId>>> Decluster(
     size_t num_objects, size_t num_servers, DeclusterStrategy strategy,
     uint64_t seed) {

@@ -47,6 +47,17 @@ StatusOr<std::vector<std::vector<ObjectId>>> DeclusterDataset(
     const Dataset& dataset, size_t num_servers, DeclusterStrategy strategy,
     uint64_t seed);
 
+/// Chained (rotational) replica placement: partition p's copies land on
+/// servers p mod s, (p+1) mod s, ..., (p+r-1) mod s, so every copy set is
+/// r *distinct* servers and — with one partition per server, the cluster's
+/// layout — every server hosts exactly r partitions. Losing one server
+/// spreads its partitions over the next r-1 servers in the chain instead
+/// of doubling a single neighbor's load (the classic chained-declustering
+/// argument). Entry 0 of each placement is the partition's primary.
+/// Requires num_partitions > 0 and 1 <= replication_factor <= num_servers.
+StatusOr<std::vector<std::vector<size_t>>> PlaceReplicas(
+    size_t num_partitions, size_t num_servers, size_t replication_factor);
+
 }  // namespace msq
 
 #endif  // MSQ_PARALLEL_DECLUSTER_H_

@@ -26,6 +26,12 @@ void FaultInjector::Crash() {
 void FaultInjector::Restore() {
   std::lock_guard<std::mutex> lock(mu_);
   crashed_ = false;
+  crash_after_ = -1;
+}
+
+void FaultInjector::CrashAfterPageReads(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_ = n;
 }
 
 bool FaultInjector::crashed() const {
@@ -42,11 +48,17 @@ Status FaultInjector::OnPageRead(PageId page) {
   bool spike = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (crash_after_ == 0) {
+      // The scheduled mid-batch crash fires *between* reads: the previous
+      // read completed normally, this one finds the server gone.
+      crashed_ = true;
+      crash_after_ = -1;
+    }
     if (crashed_) {
       ++faults_injected_;
       if (crash_faults_ != nullptr) crash_faults_->Increment();
-      return Status::IOError("server down: page " + std::to_string(page) +
-                             " unreachable");
+      return Status::Unavailable("server down: page " + std::to_string(page) +
+                                 " unreachable");
     }
     if (fail_next_ > 0) {
       --fail_next_;
@@ -70,6 +82,8 @@ Status FaultInjector::OnPageRead(PageId page) {
       if (latency_faults_ != nullptr) latency_faults_->Increment();
       spike = true;
     }
+    // The read succeeds: one step closer to a scheduled crash.
+    if (crash_after_ > 0) --crash_after_;
   }
   // Sleep outside the lock: a stalled read must not block other threads'
   // fault decisions (or Crash()/Restore() from a test driver).

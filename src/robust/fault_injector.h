@@ -54,11 +54,20 @@ class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan);
 
-  /// Marks the server down: every subsequent page read fails with IOError
-  /// until Restore(). Idempotent.
+  /// Marks the server down: every subsequent page read fails with
+  /// kUnavailable until Restore(). Idempotent. Unlike the transient
+  /// IOError hazards, a crash is deterministic — retry policies skip it
+  /// and the cluster fails over to a replica instead.
   void Crash();
   void Restore();
   bool crashed() const;
+
+  /// Schedules a deterministic mid-batch crash: the next `n` page reads
+  /// succeed, then the server crashes (read n+1 and everything after fail
+  /// with kUnavailable until Restore()). Models a server dying *between*
+  /// two page reads of an in-flight batch; n = 0 crashes on the next read.
+  /// Re-arming replaces any previously scheduled crash.
+  void CrashAfterPageReads(int n);
 
   /// Scripts the next `n` page reads (across all threads) to fail with a
   /// transient IOError; the faults consume themselves, so read n+1
@@ -66,8 +75,9 @@ class FaultInjector {
   void FailNextPageReads(int n);
 
   /// The decorator's hook: decides the fate of one page read. Returns OK
-  /// (possibly after sleeping out a latency spike) or IOError. Check
-  /// order: crash, scripted failure, probabilistic failure, latency spike.
+  /// (possibly after sleeping out a latency spike), kUnavailable (crashed
+  /// server) or kIOError (transient fault). Check order: scheduled crash,
+  /// crash, scripted failure, probabilistic failure, latency spike.
   Status OnPageRead(PageId page);
 
   // --- introspection ---------------------------------------------------
@@ -80,6 +90,7 @@ class FaultInjector {
   mutable std::mutex mu_;
   Rng rng_;                 // guarded by mu_
   bool crashed_ = false;    // guarded by mu_
+  int crash_after_ = -1;    // guarded by mu_; < 0 = no crash scheduled
   int fail_next_ = 0;       // guarded by mu_
   uint64_t faults_injected_ = 0;  // guarded by mu_
   uint64_t spikes_injected_ = 0;  // guarded by mu_

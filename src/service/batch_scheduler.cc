@@ -138,6 +138,17 @@ AnswerFuture BatchScheduler::Submit(Query query) {
         std::to_string(options_.max_pending) + ")"));
     return future;
   }
+  if (options_.admission_check) {
+    // Backend-health gate (e.g. a cluster that lost quorum): shed new work
+    // the backend could only answer partially, with the gate's own status.
+    Status admitted = options_.admission_check();
+    if (!admitted.ok()) {
+      ++queries_shed_;
+      if (shed_total_ != nullptr) shed_total_->Increment();
+      promise.set_value(std::move(admitted));
+      return future;
+    }
+  }
   ++queries_submitted_;
   if (submitted_total_ != nullptr) submitted_total_->Increment();
   if (pending_.empty()) {

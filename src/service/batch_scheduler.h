@@ -33,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -61,6 +62,15 @@ struct BatchSchedulerOptions {
   /// an already-pending query stays allowed (it adds no queue pressure).
   /// Zero means unbounded.
   size_t max_pending = 0;
+  /// Optional admission gate consulted for every *new* (non-coalesced)
+  /// submission after the max_pending bound. Non-OK sheds the query
+  /// immediately with the returned status — the hook for shedding work the
+  /// backend could only answer partially, e.g.
+  /// SharedNothingCluster::QuorumStatus when the cluster has lost every
+  /// replica of some partition. Called under the scheduler lock: keep it
+  /// cheap and never let it call back into the scheduler. Null disables
+  /// the gate.
+  std::function<Status()> admission_check;
   /// Observability sink for the `msq_scheduler_*` instruments (queue depth,
   /// admission wait, end-to-end latency, flush reasons) and batch spans.
   /// nullptr disables scheduler instrumentation.

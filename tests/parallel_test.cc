@@ -15,6 +15,7 @@
 #include "parallel/cluster.h"
 #include "parallel/decluster.h"
 #include "parallel/thread_pool.h"
+#include "robust/fault_injector.h"
 #include "tests/test_util.h"
 
 namespace msq {
@@ -185,6 +186,84 @@ TEST(ParallelTest, KnnMergeBreaksDistanceTiesDeterministically) {
           BruteForceQuery(dataset, *metric, queries[i]);
       EXPECT_TRUE(SameAnswers((*got)[i], expected))
           << "strategy " << static_cast<int>(strategy) << " query " << i;
+    }
+  }
+}
+
+/// Bit-identical comparison — not SameAnswers' tolerance: failover must be
+/// invisible, so ids, distances *and order* have to match exactly.
+bool BitIdentical(const std::vector<AnswerSet>& a,
+                  const std::vector<AnswerSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].size() != b[q].size()) return false;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      if (a[q][i].id != b[q][i].id || a[q][i].distance != b[q][i].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// The failover guarantee, against the merge's hardest input: duplicated
+// points put runs of equal distances in every candidate list, and every
+// declustering strategy splits the tie groups across servers differently.
+// Whichever single server crashes, a 2-way replicated cluster must return
+// answers bit-identical to the fault-free unreplicated run — replica
+// databases are built over the same partition subsets, so the merge cannot
+// tell who served a partition.
+TEST(ParallelTest, FailoverMergeIsBitIdenticalAcrossStrategies) {
+  constexpr size_t kDistinct = 50;
+  constexpr size_t kCopies = 4;
+  Rng rng(811);
+  std::vector<Vec> objects;
+  objects.reserve(kDistinct * kCopies);
+  for (size_t i = 0; i < kDistinct; ++i) {
+    Vec point = {rng.NextDouble(0.0, 1.0), rng.NextDouble(0.0, 1.0),
+                 rng.NextDouble(0.0, 1.0)};
+    for (size_t c = 0; c < kCopies; ++c) objects.push_back(point);
+  }
+  Dataset dataset(3, std::move(objects));
+  auto metric = std::make_shared<EuclideanMetric>();
+  std::vector<Query> queries;
+  for (uint64_t i = 0; i < 6; ++i) {
+    queries.push_back(Query{2000 + i,
+                            dataset.object(static_cast<ObjectId>(i * 13)),
+                            QueryType::Knn(6)});
+  }
+
+  for (DeclusterStrategy strategy :
+       {DeclusterStrategy::kRoundRobin, DeclusterStrategy::kRandom,
+        DeclusterStrategy::kChunked, DeclusterStrategy::kSpatial}) {
+    SCOPED_TRACE(DeclusterStrategyName(strategy));
+    ClusterOptions options = MakeClusterOptions(5, BackendKind::kLinearScan);
+    options.strategy = strategy;
+
+    // Fault-free, unreplicated reference.
+    auto baseline = SharedNothingCluster::Create(dataset, metric, options);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    auto expected = (*baseline)->ExecuteMultipleAll(queries);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    for (size_t crashed = 0; crashed < 5; ++crashed) {
+      ClusterOptions replicated = options;
+      replicated.replication_factor = 2;
+      robust::FaultPlan plan;
+      plan.metrics = nullptr;
+      std::vector<std::shared_ptr<robust::FaultInjector>> injectors;
+      for (size_t i = 0; i < 5; ++i) {
+        injectors.push_back(std::make_shared<robust::FaultInjector>(plan));
+      }
+      replicated.server_faults = injectors;
+      auto cluster = SharedNothingCluster::Create(dataset, metric, replicated);
+      ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+      injectors[crashed]->Crash();
+      auto got = (*cluster)->ExecuteMultipleAll(queries);
+      ASSERT_TRUE(got.ok())
+          << "crashed server " << crashed << ": " << got.status().ToString();
+      EXPECT_TRUE(BitIdentical(*got, *expected)) << "crashed " << crashed;
+      EXPECT_GE((*cluster)->failovers(), 1u) << "crashed " << crashed;
     }
   }
 }

@@ -83,11 +83,33 @@ TEST(RobustInjectorTest, CrashFailsEveryReadUntilRestore) {
   EXPECT_TRUE(injector.OnPageRead(0).ok());
   injector.Crash();
   EXPECT_TRUE(injector.crashed());
-  EXPECT_TRUE(injector.OnPageRead(0).IsIOError());
-  EXPECT_TRUE(injector.OnPageRead(1).IsIOError());
+  // A down server is kUnavailable — deterministic, so retry policies must
+  // not burn budget on it (unlike the transient kIOError hazards).
+  EXPECT_TRUE(injector.OnPageRead(0).IsUnavailable());
+  EXPECT_TRUE(injector.OnPageRead(1).IsUnavailable());
   injector.Restore();
   EXPECT_FALSE(injector.crashed());
   EXPECT_TRUE(injector.OnPageRead(2).ok());
+}
+
+TEST(RobustInjectorTest, ScheduledCrashFiresBetweenReads) {
+  robust::FaultPlan plan;
+  plan.metrics = nullptr;
+  robust::FaultInjector injector(plan);
+  injector.CrashAfterPageReads(2);
+  EXPECT_TRUE(injector.OnPageRead(0).ok());
+  EXPECT_TRUE(injector.OnPageRead(1).ok());
+  EXPECT_TRUE(injector.OnPageRead(2).IsUnavailable());
+  EXPECT_TRUE(injector.crashed());
+  EXPECT_TRUE(injector.OnPageRead(3).IsUnavailable());
+  injector.Restore();
+  EXPECT_FALSE(injector.crashed());
+  EXPECT_TRUE(injector.OnPageRead(4).ok());
+  // Restore also cancels a not-yet-fired schedule.
+  injector.CrashAfterPageReads(1);
+  injector.Restore();
+  EXPECT_TRUE(injector.OnPageRead(5).ok());
+  EXPECT_TRUE(injector.OnPageRead(6).ok());
 }
 
 TEST(RobustInjectorTest, ScriptedFaultsConsumeThemselves) {
@@ -315,7 +337,7 @@ TEST(RobustClusterTest, CrashedServerYieldsPartialResultsWithMissingPartition) {
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_EQ(got->missing_servers, (std::vector<size_t>{1}));
   ASSERT_EQ(got->server_status.size(), 4u);
-  EXPECT_TRUE(got->server_status[1].IsIOError());
+  EXPECT_TRUE(got->server_status[1].IsUnavailable());
 
   // Oracle: brute force over the union of the surviving partitions.
   std::vector<Vec> surviving;
@@ -345,7 +367,7 @@ TEST(RobustClusterTest, StrictFailureNamesEveryFailedServer) {
   fx.injectors[3]->Crash();
   auto got = fx.cluster->ExecuteMultipleAll(ClusterQueries(fx.dataset));
   ASSERT_FALSE(got.ok());
-  EXPECT_TRUE(got.status().IsIOError());
+  EXPECT_TRUE(got.status().IsUnavailable());
   const std::string& msg = got.status().message();
   EXPECT_NE(msg.find("2 of 4 servers failed"), std::string::npos) << msg;
   EXPECT_NE(msg.find("server 1"), std::string::npos) << msg;
@@ -395,16 +417,84 @@ TEST(RobustClusterTest, TransientFaultRecoversThroughRetry) {
   }
 }
 
-// Exhausted retries surface the failure (crash outlives the budget).
-TEST(RobustClusterTest, RetriesDoNotMaskAPersistentCrash) {
+// A crash is deterministic (kUnavailable): retrying the same server could
+// only waste the budget, so the retry loop skips it entirely and the
+// failure surfaces at once.
+TEST(RobustClusterTest, CrashSkipsTheRetryBudget) {
   ClusterRetryPolicy retry;
   retry.max_retries = 2;
   ClusterFixture fx = MakeFaultyCluster(2, 1309, retry);
   fx.injectors[0]->Crash();
   auto got = fx.cluster->ExecuteMultipleAll(ClusterQueries(fx.dataset));
   ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsUnavailable());
+  EXPECT_EQ(fx.cluster->retries_attempted(), 0u);
+}
+
+// Exhausted retries surface a *transient* failure that outlived the
+// budget — and every attempt is counted.
+TEST(RobustClusterTest, ExhaustedRetriesSurfaceATransientFailure) {
+  ClusterRetryPolicy retry;
+  retry.max_retries = 2;
+  ClusterFixture fx = MakeFaultyCluster(2, 1311, retry);
+  // More scripted transient faults than the budget can absorb: every
+  // attempt (1 initial + 2 retries) fails on its first page read.
+  fx.injectors[0]->FailNextPageReads(10);
+  auto got = fx.cluster->ExecuteMultipleAll(ClusterQueries(fx.dataset));
+  ASSERT_FALSE(got.ok());
   EXPECT_TRUE(got.status().IsIOError());
   EXPECT_EQ(fx.cluster->retries_attempted(), 2u);
+}
+
+// Satellite regression: a server dying *between* two page reads of an
+// in-flight batch fails the call with kUnavailable, and the DiskModel
+// accounting stays honest — the interrupted attempt charges exactly one
+// extra (failed) page read over a fault-free twin, and after Restore()
+// the resumed run completes exactly.
+TEST(RobustEngineTest, MidBatchCrashIsUnavailableWithHonestAccounting) {
+  Dataset dataset = MakeUniformDataset(600, 4, 1313);
+  EuclideanMetric metric;
+  robust::FaultPlan plan;
+  plan.metrics = nullptr;
+  auto injector = std::make_shared<robust::FaultInjector>(plan);
+  auto faulty = OpenScanDb(dataset, injector);
+  auto plain = OpenScanDb(dataset);
+
+  std::vector<Query> batch;
+  for (uint64_t i = 0; i < 4; ++i) {
+    batch.push_back(Query{950 + i, dataset.object(static_cast<ObjectId>(i * 9)),
+                          i % 2 == 0 ? QueryType::Knn(5)
+                                     : QueryType::Range(0.3)});
+  }
+  // Crash between the 3rd and 4th page read of the batch.
+  injector->CrashAfterPageReads(3);
+  auto crashed = faulty->MultipleSimilarityQueryAll(batch);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_TRUE(crashed.status().IsUnavailable()) << crashed.status().ToString();
+  EXPECT_EQ(injector->faults_injected(), 1u);
+  // Honest accounting, part 1: a failed call bills nothing to the caller's
+  // stats surface — the engine charges a call-local QueryStats and merges
+  // it only on the success epilogue, so an aborted attempt cannot inflate
+  // modeled costs (and a later retry cannot double-bill the same pages).
+  EXPECT_EQ(faulty->stats().TotalPageReads(), 0u);
+  EXPECT_EQ(faulty->stats().buffer_hits, 0u);
+
+  injector->Restore();
+  auto resumed = faulty->MultipleSimilarityQueryAll(batch);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  auto reference = plain->MultipleSimilarityQueryAll(batch);
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(SameAnswers((*resumed)[i], (*reference)[i])) << "query " << i;
+  }
+  // Honest accounting, part 2: the resumed call pays for everything it
+  // actually does. The failed page's accounting was rolled back, so it is
+  // re-read for real (it cannot be silently skipped); the 3 pages the
+  // crashed attempt completed stay accounted in the buffered query state
+  // and are skipped — visible as pages_skipped_buffered, not billed as
+  // fresh reads.
+  EXPECT_GT(faulty->stats().TotalPageReads(), 0u);
+  EXPECT_GE(faulty->stats().pages_skipped_buffered, 3u);
 }
 
 // ---------------------------------------------------------------------

@@ -544,6 +544,51 @@ TEST(BatchSchedulerTest, OverloadShedsNewQueriesButCoalescesPendingOnes) {
   EXPECT_TRUE(after.get().ok());
 }
 
+// The admission_check gate: while the backend reports itself unhealthy
+// (e.g. a cluster that lost quorum), new submissions are shed with the
+// gate's own status; identical pending queries still coalesce, and
+// admission resumes the moment the gate clears.
+TEST(BatchSchedulerTest, AdmissionCheckShedsWithBackendStatus) {
+  Dataset dataset = MakeUniformDataset(200, 4, 947);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  std::atomic<bool> healthy{true};
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.flush_deadline = std::chrono::seconds(10);  // manual flushes only
+  options.admission_check = [&healthy]() {
+    return healthy.load() ? Status::OK()
+                          : Status::ResourceExhausted(
+                                "quorum lost: no admissible replica for "
+                                "partition(s) 1");
+  };
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  const Query q1{1, dataset.object(0), QueryType::Knn(2)};
+  auto f1 = scheduler.Submit(q1);
+
+  healthy.store(false);
+  auto shed = scheduler.Submit(Query{2, dataset.object(1), QueryType::Knn(2)});
+  auto shed_result = shed.get();
+  ASSERT_TRUE(shed_result.status().IsResourceExhausted())
+      << shed_result.status().ToString();
+  EXPECT_NE(shed_result.status().message().find("quorum lost"),
+            std::string::npos)
+      << shed_result.status().message();
+  // Coalescing onto the already-admitted query bypasses the gate: it adds
+  // no new work for the degraded backend.
+  auto dup = scheduler.Submit(q1);
+
+  healthy.store(true);
+  auto after = scheduler.Submit(Query{3, dataset.object(2), QueryType::Knn(2)});
+  scheduler.Drain();
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(dup.get().ok());
+  EXPECT_TRUE(after.get().ok());
+  EXPECT_EQ(scheduler.queries_shed(), 1u);
+  EXPECT_EQ(scheduler.queries_submitted(), 3u);  // q1, coalesced dup, q3
+}
+
 // A query whose deadline expired fails only its own waiter; batchmates
 // riding in the same flushed batch are answered normally.
 TEST(BatchSchedulerTest, ExpiredDeadlineFailsOnlyItsOwnWaiter) {
