@@ -1,0 +1,179 @@
+// Persistent-store bench: modeled vs. measured I/O.
+//
+// The paper states every I/O cost in *modeled* page accesses (Sec. 6's
+// calibrated 1998 disk). The single-file page store gives those accesses a
+// measurable counterpart: this bench saves a database per backend, reopens
+// it, runs the same kNN workload against the built and the reopened
+// database, verifies the answers are bit-identical, and reports the
+// modeled page reads next to the file's real positioned reads.
+//
+// For the data-page backends the modeled and measured read counts agree by
+// construction (every modeled miss is one pread of the page's extent); the
+// VA-file's modeled count additionally charges its phase-1 approximation
+// scan, which has no extent behind it — the gap between the two columns is
+// exactly that scan. What the measurement adds is bytes and wall time: a
+// check that the cost model's unit, the page access, maps onto a real
+// positioned read.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "storage/page_file.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+std::string DefaultDbPath() {
+  return (std::filesystem::temp_directory_path() / "msq_persist_bench.msq")
+      .string();
+}
+
+// Bit-exact answer comparison (ids, distances, and order).
+bool IdenticalAnswers(const AnswerSet& a, const AnswerSet& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].distance != b[i].distance) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("n", "20000", "dataset size");
+  flags.Define("dim", "8", "dataset dimensionality");
+  flags.Define("num_queries", "100", "kNN queries per backend");
+  flags.Define("k", "10", "kNN cardinality");
+  flags.Define("page_size", "4096", "data page size in bytes");
+  flags.Define("db", "", "page-store path (default: a temp file)");
+  flags.Define("keep_db", "false", "leave the saved file on disk");
+  flags.Define("json", "",
+               "write one JSON record per backend to this file");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const size_t dim = static_cast<size_t>(flags.GetInt("dim"));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+  std::string path = flags.GetString("db");
+  if (path.empty()) path = DefaultDbPath();
+
+  const Dataset dataset = MakeGaussianClustersDataset(n, dim, 8, 0.05, 42);
+  Rng rng(43);
+  std::vector<ObjectId> query_ids;
+  for (uint64_t id : rng.SampleWithoutReplacement(n, num_queries)) {
+    query_ids.push_back(static_cast<ObjectId>(id));
+  }
+
+  BenchJsonWriter json(flags.GetString("json"));
+  std::printf("persist_io — modeled page reads vs. measured preads "
+              "(n=%zu dim=%zu queries=%zu k=%zu)\n",
+              n, dim, num_queries, k);
+  std::printf("%-12s %10s %10s %10s %12s %10s %10s %8s\n", "backend",
+              "file_MiB", "save_ms", "open_ms", "modeled_rds", "preads",
+              "read_MiB", "ident");
+
+  for (BackendKind backend :
+       {BackendKind::kLinearScan, BackendKind::kXTree, BackendKind::kMTree,
+        BackendKind::kVaFile}) {
+    DatabaseOptions options;
+    options.backend = backend;
+    options.page_size_bytes = static_cast<size_t>(flags.GetInt("page_size"));
+    auto built = MetricDatabase::Open(dataset, BenchMetric(), options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build(%s) failed: %s\n",
+                   BackendKindName(backend).c_str(),
+                   built.status().ToString().c_str());
+      return 1;
+    }
+
+    WallTimer save_timer;
+    if (Status s = (*built)->Save(path); !s.ok()) {
+      std::fprintf(stderr, "save(%s) failed: %s\n",
+                   BackendKindName(backend).c_str(), s.ToString().c_str());
+      return 1;
+    }
+    const double save_ms = save_timer.ElapsedMillis();
+    const double file_mib =
+        static_cast<double>(std::filesystem::file_size(path)) /
+        (1024.0 * 1024.0);
+
+    WallTimer open_timer;
+    auto reopened = MetricDatabase::Open(path);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "open(%s) failed: %s\n",
+                   BackendKindName(backend).c_str(),
+                   reopened.status().ToString().c_str());
+      return 1;
+    }
+    const double open_ms = open_timer.ElapsedMillis();
+
+    // The same workload on both databases; answers must be bit-identical.
+    (*built)->ResetAll();
+    (*reopened)->ResetAll();
+    int bit_identical = 1;
+    WallTimer query_timer;
+    for (ObjectId id : query_ids) {
+      const Query q = (*built)->MakeObjectKnnQuery(id, k);
+      auto want = (*built)->SimilarityQuery(q);
+      auto got = (*reopened)->SimilarityQuery(q);
+      if (!want.ok() || !got.ok() || !IdenticalAnswers(*want, *got)) {
+        bit_identical = 0;
+      }
+    }
+    const double query_ms = query_timer.ElapsedMillis();
+
+    const QueryStats& stats = (*reopened)->stats();
+    const DataLayout* layout = (*reopened)->backend().MutableLayout();
+    const PageFileIoStats io = layout->store()->io_stats();
+    const double read_mib =
+        static_cast<double>(io.read_bytes) / (1024.0 * 1024.0);
+
+    std::printf("%-12s %10.2f %10.1f %10.1f %12llu %10llu %10.2f %8s\n",
+                BackendKindName(backend).c_str(), file_mib, save_ms, open_ms,
+                static_cast<unsigned long long>(stats.TotalPageReads()),
+                static_cast<unsigned long long>(io.reads), read_mib,
+                bit_identical ? "yes" : "NO");
+
+    json.BeginRecord("persist_io");
+    json.Str("backend", BackendKindName(backend));
+    json.Num("n", static_cast<double>(n));
+    json.Num("dim", static_cast<double>(dim));
+    json.Num("num_queries", static_cast<double>(num_queries));
+    json.Num("k", static_cast<double>(k));
+    json.Int("bit_identical", bit_identical);
+    json.Int("modeled_page_reads",
+             static_cast<int64_t>(stats.TotalPageReads()));
+    json.Int("random_page_reads",
+             static_cast<int64_t>(stats.random_page_reads));
+    json.Int("seq_page_reads", static_cast<int64_t>(stats.seq_page_reads));
+    json.Int("buffer_hits", static_cast<int64_t>(stats.buffer_hits));
+    json.Int("measured_preads", static_cast<int64_t>(io.reads));
+    json.Int("measured_read_bytes", static_cast<int64_t>(io.read_bytes));
+    json.Num("modeled_io_ms", (*reopened)->ModeledIoMillis());
+    json.Num("measured_read_ms",
+             static_cast<double>(io.read_nanos) / 1e6);
+    json.Num("file_mib", file_mib);
+    json.Num("save_ms", save_ms);
+    json.Num("open_ms", open_ms);
+    json.Num("query_wall_ms", query_ms);
+
+    if (!bit_identical) {
+      std::fprintf(stderr, "%s: reopened answers differ!\n",
+                   BackendKindName(backend).c_str());
+      return 1;
+    }
+  }
+
+  if (!flags.GetBool("keep_db")) std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used by the
+// persistent page store to detect on-disk corruption. Every stored extent
+// — superblock, object table, object blobs, data pages — carries a CRC
+// over its full padded length, so a single flipped bit anywhere in a page
+// file surfaces as Status::Corruption instead of undefined behaviour.
+
+#ifndef MSQ_COMMON_CRC32_H_
+#define MSQ_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msq {
+
+/// CRC-32 of `len` bytes, continuing from `seed` (pass 0 for a fresh
+/// checksum; chain calls by passing the previous result).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace msq
+
+#endif  // MSQ_COMMON_CRC32_H_

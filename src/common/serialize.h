@@ -1,28 +1,39 @@
 // Minimal little-endian binary (de)serialization helpers for the index
-// persistence code. All readers validate stream state; readers of
-// variable-length fields bound them before allocating.
+// persistence code. Writers return Status (a full disk or an oversized
+// field is an error, not silent truncation); readers validate stream state,
+// and readers of variable-length fields bound them against the remaining
+// stream length *before* allocating, so a corrupt length prefix in a tiny
+// file can never trigger a giant allocation.
 
 #ifndef MSQ_COMMON_SERIALIZE_H_
 #define MSQ_COMMON_SERIALIZE_H_
 
 #include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
 
 namespace msq {
 
-inline void WriteU32(std::ostream& out, uint32_t v) {
+inline Status WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) return Status::IOError("write failed (u32)");
+  return Status::OK();
 }
-inline void WriteU64(std::ostream& out, uint64_t v) {
+inline Status WriteU64(std::ostream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) return Status::IOError("write failed (u64)");
+  return Status::OK();
 }
-inline void WriteF64(std::ostream& out, double v) {
+inline Status WriteF64(std::ostream& out, double v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) return Status::IOError("write failed (f64)");
+  return Status::OK();
 }
 
 inline Status ReadU32(std::istream& in, uint32_t* v) {
@@ -41,16 +52,40 @@ inline Status ReadF64(std::istream& in, double* v) {
   return Status::OK();
 }
 
-/// Writes a u32-length-prefixed vector of trivially copyable elements.
-template <typename T>
-void WriteVector(std::ostream& out, const std::vector<T>& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  WriteU32(out, static_cast<uint32_t>(v.size()));
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+/// Bytes left between the stream's current position and its end, or -1 when
+/// the stream is not seekable. Restores the read position.
+inline int64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return -1;
+  return static_cast<int64_t>(end - pos);
 }
 
-/// Reads a u32-length-prefixed vector, rejecting absurd sizes.
+/// Writes a u32-length-prefixed vector of trivially copyable elements.
+/// Vectors beyond the u32 length range are rejected (they cannot round-trip
+/// through the length prefix) instead of silently truncated.
+template <typename T>
+Status WriteVector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (v.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "vector of " + std::to_string(v.size()) +
+        " elements exceeds the u32 length prefix; not serializable");
+  }
+  MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(v.size())));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!out) return Status::IOError("write failed (vector payload)");
+  return Status::OK();
+}
+
+/// Reads a u32-length-prefixed vector, rejecting absurd sizes. The declared
+/// size is bounded against the remaining stream length before any
+/// allocation happens, so a corrupt prefix fails cleanly with Corruption
+/// instead of attempting a multi-GiB resize.
 template <typename T>
 Status ReadVector(std::istream& in, std::vector<T>* v,
                   uint32_t max_elements = 1u << 28) {
@@ -60,10 +95,63 @@ Status ReadVector(std::istream& in, std::vector<T>* v,
   if (size > max_elements) {
     return Status::Corruption("vector size out of bounds");
   }
-  v->resize(size);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
-  if (!in) return Status::Corruption("truncated stream (vector)");
+  const uint64_t payload = static_cast<uint64_t>(size) * sizeof(T);
+  const int64_t remaining = RemainingBytes(in);
+  if (remaining >= 0) {
+    if (payload > static_cast<uint64_t>(remaining)) {
+      return Status::Corruption("vector size exceeds remaining stream");
+    }
+    v->resize(size);
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(payload));
+    if (!in) return Status::Corruption("truncated stream (vector)");
+    return Status::OK();
+  }
+  // Non-seekable stream: grow in bounded chunks so a lying prefix stops at
+  // EOF having allocated no more than one chunk beyond the actual data.
+  constexpr size_t kChunkElements = (1u << 20) / sizeof(T) + 1;
+  v->clear();
+  size_t done = 0;
+  while (done < size) {
+    const size_t batch = std::min<size_t>(kChunkElements, size - done);
+    v->resize(done + batch);
+    in.read(reinterpret_cast<char*>(v->data() + done),
+            static_cast<std::streamsize>(batch * sizeof(T)));
+    if (!in) return Status::Corruption("truncated stream (vector)");
+    done += batch;
+  }
+  return Status::OK();
+}
+
+/// Writes a u32-length-prefixed byte string.
+inline Status WriteString(std::ostream& out, const std::string& s) {
+  if (s.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("string exceeds u32 length prefix");
+  }
+  MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(s.size())));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!out) return Status::IOError("write failed (string payload)");
+  return Status::OK();
+}
+
+/// Reads a u32-length-prefixed byte string with the same pre-allocation
+/// bounding as ReadVector.
+inline Status ReadString(std::istream& in, std::string* s,
+                         uint32_t max_bytes = 1u << 20) {
+  std::vector<char> bytes;
+  MSQ_RETURN_IF_ERROR(ReadVector(in, &bytes, max_bytes));
+  s->assign(bytes.begin(), bytes.end());
+  return Status::OK();
+}
+
+/// Reads a u32 and verifies it equals `expected` (a section tag or magic).
+inline Status ExpectTag(std::istream& in, uint32_t expected,
+                        const std::string& what) {
+  uint32_t got = 0;
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &got));
+  if (got != expected) {
+    return Status::Corruption("bad tag for " + what);
+  }
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #ifndef MSQ_CORE_BACKEND_H_
 #define MSQ_CORE_BACKEND_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -136,6 +137,19 @@ class QueryBackend {
   /// pool hit/miss/eviction counters). Default: no-op, for backends (and
   /// test fakes) without metered storage.
   virtual void SetMetricsSink(const obs::MetricsSink* /*sink*/) {}
+
+  /// The backend's DataLayout, for persistence (SaveToStore/AttachStore).
+  /// Null for backends without one (test fakes, remote proxies). Tree
+  /// backends finalize first, so the returned layout is the one queries
+  /// run on.
+  virtual DataLayout* MutableLayout() { return nullptr; }
+
+  /// Serializes the backend's index structure (not the data pages — those
+  /// are the layout's) to `out`, in the same tagged format the standalone
+  /// Save(path) methods use. Default: not supported.
+  virtual Status SaveIndex(std::ostream& /*out*/) {
+    return Status::NotSupported("backend cannot serialize its index");
+  }
 
  protected:
   /// Scratch for the default ReadPageBlockChecked gather; reused across

@@ -1,9 +1,22 @@
 #include "core/database.h"
 
+#include <sstream>
+
+#include "common/serialize.h"
 #include "core/single_query.h"
+#include "dist/builtin_metrics.h"
 #include "robust/fault_injector.h"
+#include "storage/page_file.h"
 
 namespace msq {
+
+namespace {
+
+// Database metadata blob ("meta" object of the page store).
+constexpr uint32_t kDbMetaTag = 0x4d535142;  // "MSQB"
+constexpr uint32_t kDbMetaVersion = 1;
+
+}  // namespace
 
 std::string BackendKindName(BackendKind kind) {
   switch (kind) {
@@ -83,14 +96,190 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
       break;
     }
   }
-  if (options.fault_injector != nullptr) {
-    db->backend_ = std::make_unique<robust::FaultInjectingBackend>(
-        std::move(db->backend_), options.fault_injector);
+  db->WireEngine();
+  return db;
+}
+
+void MetricDatabase::WireEngine() {
+  if (options_.fault_injector != nullptr) {
+    backend_ = std::make_unique<robust::FaultInjectingBackend>(
+        std::move(backend_), options_.fault_injector);
   }
-  db->engine_ = std::make_unique<MultiQueryEngine>(db->backend_.get(), metric,
-                                                   options.multi);
+  engine_ = std::make_unique<MultiQueryEngine>(backend_.get(), metric_,
+                                               options_.multi);
   // The storage side (buffer pool) shares the engine's observability sink.
-  db->backend_->SetMetricsSink(options.multi.metrics);
+  backend_->SetMetricsSink(options_.multi.metrics);
+}
+
+Status MetricDatabase::Save(const std::string& path) {
+  // Serialize the index blob first: for the trees this finalizes the lazy
+  // page layout, so the page map SaveToStore writes below is exactly the
+  // one the blob describes.
+  std::ostringstream index;
+  MSQ_RETURN_IF_ERROR(backend_->SaveIndex(index));
+  DataLayout* layout = backend_->MutableLayout();
+  if (layout == nullptr) {
+    return Status::NotSupported("backend has no persistable data layout");
+  }
+  if (layout->has_store()) {
+    return Status::NotSupported(
+        "database is already backed by a page store; re-saving a reopened "
+        "database is not supported");
+  }
+  auto created = PageFile::Create(path);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<PageFile> store = std::move(created).value();
+  // Data pages first: a sequential scan of the reopened database walks the
+  // file front to back.
+  MSQ_RETURN_IF_ERROR(layout->SaveToStore(store.get()));
+  MSQ_RETURN_IF_ERROR(store->PutObject("index", index.str()));
+  if (dataset_->has_labels()) {
+    std::ostringstream labels;
+    MSQ_RETURN_IF_ERROR(WriteVector(labels, dataset_->labels()));
+    MSQ_RETURN_IF_ERROR(store->PutObject("labels", labels.str()));
+  }
+  std::ostringstream meta;
+  MSQ_RETURN_IF_ERROR(WriteU32(meta, kDbMetaTag));
+  MSQ_RETURN_IF_ERROR(WriteU32(meta, kDbMetaVersion));
+  MSQ_RETURN_IF_ERROR(
+      WriteU32(meta, static_cast<uint32_t>(options_.backend)));
+  MSQ_RETURN_IF_ERROR(WriteString(meta, metric_->Name()));
+  MSQ_RETURN_IF_ERROR(WriteU32(meta, static_cast<uint32_t>(dataset_->dim())));
+  MSQ_RETURN_IF_ERROR(WriteU64(meta, dataset_->size()));
+  MSQ_RETURN_IF_ERROR(WriteU64(meta, options_.page_size_bytes));
+  MSQ_RETURN_IF_ERROR(WriteF64(meta, options_.buffer_fraction));
+  MSQ_RETURN_IF_ERROR(WriteU32(meta, options_.xtree_dynamic_build ? 1 : 0));
+  MSQ_RETURN_IF_ERROR(store->PutObject("meta", meta.str()));
+  return store->Sync();
+}
+
+StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
+    const std::string& path, const DatabaseOptions& runtime,
+    std::shared_ptr<const Metric> metric) {
+  auto opened = PageFile::Open(path);
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<PageFile> store = std::move(opened).value();
+
+  std::string meta_bytes;
+  MSQ_RETURN_IF_ERROR(store->GetObject("meta", &meta_bytes));
+  std::istringstream meta(meta_bytes);
+  MSQ_RETURN_IF_ERROR(ExpectTag(meta, kDbMetaTag, "database metadata"));
+  uint32_t version = 0;
+  MSQ_RETURN_IF_ERROR(ReadU32(meta, &version));
+  if (version != kDbMetaVersion) {
+    return Status::NotSupported("unsupported database format version " +
+                                std::to_string(version));
+  }
+  uint32_t backend_raw = 0, dim = 0, dynamic_build = 0;
+  uint64_t n = 0, page_size = 0;
+  double buffer_fraction = 0.0;
+  std::string metric_name;
+  MSQ_RETURN_IF_ERROR(ReadU32(meta, &backend_raw));
+  MSQ_RETURN_IF_ERROR(ReadString(meta, &metric_name));
+  MSQ_RETURN_IF_ERROR(ReadU32(meta, &dim));
+  MSQ_RETURN_IF_ERROR(ReadU64(meta, &n));
+  MSQ_RETURN_IF_ERROR(ReadU64(meta, &page_size));
+  MSQ_RETURN_IF_ERROR(ReadF64(meta, &buffer_fraction));
+  MSQ_RETURN_IF_ERROR(ReadU32(meta, &dynamic_build));
+  if (meta.peek() != std::istringstream::traits_type::eof()) {
+    return Status::Corruption("trailing bytes after database metadata");
+  }
+  if (backend_raw > static_cast<uint32_t>(BackendKind::kVaFile) ||
+      dim == 0 || n == 0 || page_size == 0 || buffer_fraction < 0.0 ||
+      !(buffer_fraction <= 1.0)) {
+    return Status::Corruption("database metadata out of bounds");
+  }
+  const BackendKind kind = static_cast<BackendKind>(backend_raw);
+
+  if (metric == nullptr) {
+    auto made = MetricFromName(metric_name);
+    if (!made.ok()) return made.status();
+    metric = std::move(made).value();
+  } else if (metric->Name() != metric_name) {
+    return Status::InvalidArgument("supplied metric \"" + metric->Name() +
+                                   "\" does not match the stored metric \"" +
+                                   metric_name + "\"");
+  }
+
+  // Rebuild the dataset from the stored data pages.
+  size_t stored_dim = 0;
+  std::vector<Vec> objects;
+  MSQ_RETURN_IF_ERROR(
+      DataLayout::LoadStoredObjects(*store, &stored_dim, &objects));
+  if (stored_dim != dim || objects.size() != n) {
+    return Status::Corruption("stored pages disagree with database metadata");
+  }
+  Dataset dataset(dim, std::move(objects));
+  if (store->HasObject("labels")) {
+    std::string label_bytes;
+    MSQ_RETURN_IF_ERROR(store->GetObject("labels", &label_bytes));
+    std::istringstream labels_in(label_bytes);
+    std::vector<int32_t> labels;
+    MSQ_RETURN_IF_ERROR(ReadVector(labels_in, &labels));
+    if (labels.size() != n ||
+        labels_in.peek() != std::istringstream::traits_type::eof()) {
+      return Status::Corruption("stored labels disagree with the dataset");
+    }
+    dataset.set_labels(std::move(labels));
+  }
+
+  // Structural options come from the file; runtime knobs from the caller.
+  DatabaseOptions options = runtime;
+  options.backend = kind;
+  options.page_size_bytes = static_cast<size_t>(page_size);
+  options.buffer_fraction = buffer_fraction;
+  options.xtree_dynamic_build = dynamic_build != 0;
+
+  auto shared = std::make_shared<Dataset>(std::move(dataset));
+  auto db = std::unique_ptr<MetricDatabase>(
+      new MetricDatabase(shared, metric, options));
+
+  std::string index_bytes;
+  MSQ_RETURN_IF_ERROR(store->GetObject("index", &index_bytes));
+  std::istringstream index(index_bytes);
+  switch (kind) {
+    case BackendKind::kLinearScan: {
+      auto loaded = LinearScanBackend::LoadIndex(index, shared);
+      if (!loaded.ok()) return loaded.status();
+      db->backend_ = std::move(loaded).value();
+      break;
+    }
+    case BackendKind::kXTree: {
+      XTreeOptions xtree_options = options.xtree;
+      xtree_options.page_size_bytes = options.page_size_bytes;
+      xtree_options.buffer_fraction = options.buffer_fraction;
+      auto loaded = XTreeBackend::LoadFrom(index, shared, metric,
+                                           xtree_options);
+      if (!loaded.ok()) return loaded.status();
+      db->backend_ = std::move(loaded).value();
+      break;
+    }
+    case BackendKind::kMTree: {
+      MTreeOptions mtree_options = options.mtree;
+      mtree_options.page_size_bytes = options.page_size_bytes;
+      mtree_options.buffer_fraction = options.buffer_fraction;
+      auto loaded = MTreeBackend::LoadFrom(index, shared, metric,
+                                           mtree_options);
+      if (!loaded.ok()) return loaded.status();
+      db->backend_ = std::move(loaded).value();
+      break;
+    }
+    case BackendKind::kVaFile: {
+      auto loaded = VaFileBackend::LoadIndex(index, shared, metric);
+      if (!loaded.ok()) return loaded.status();
+      db->backend_ = std::move(loaded).value();
+      break;
+    }
+  }
+
+  // Route page reads through the file (MutableLayout finalizes the trees,
+  // reproducing the page map the store's directory was written against).
+  DataLayout* layout = db->backend_->MutableLayout();
+  if (layout == nullptr) {
+    return Status::Internal("reopened backend has no data layout");
+  }
+  MSQ_RETURN_IF_ERROR(layout->AttachStore(std::move(store)));
+  db->WireEngine();
   return db;
 }
 

@@ -74,6 +74,24 @@ class MetricDatabase {
       Dataset dataset, std::shared_ptr<const Metric> metric,
       const DatabaseOptions& options);
 
+  /// Persists the database as one page-store file: data pages first (a
+  /// full scan is a sequential pass), then the index blob, labels, and
+  /// metadata. Open(path) restores it without rebuilding anything.
+  Status Save(const std::string& path);
+
+  /// Opens a database saved with Save. Structural options — backend kind,
+  /// page size, buffer fraction — come from the file; `runtime` supplies
+  /// the rest (cost model, multi-query knobs, fault injector, index
+  /// tuning). The metric is reconstructed from its stored name for the
+  /// parameterless built-ins; pass `metric` explicitly for parameterized
+  /// metrics (its Name() must match the stored one). Page reads of the
+  /// returned database are real positioned reads against the file, routed
+  /// through the buffer pool.
+  static StatusOr<std::unique_ptr<MetricDatabase>> Open(
+      const std::string& path,
+      const DatabaseOptions& runtime = DatabaseOptions(),
+      std::shared_ptr<const Metric> metric = nullptr);
+
   // --- query construction ---------------------------------------------
   /// Fresh-id queries for external points.
   Query MakeRangeQuery(Vec point, double eps);
@@ -133,6 +151,11 @@ class MetricDatabase {
   MetricDatabase(std::shared_ptr<const Dataset> dataset,
                  std::shared_ptr<const Metric> metric,
                  DatabaseOptions options);
+
+  /// Shared tail of both Open overloads: wraps the backend in the fault
+  /// injector (when configured), builds the multi-query engine, and wires
+  /// the observability sink. Requires backend_ to be set.
+  void WireEngine();
 
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const Metric> metric_;

@@ -410,4 +410,15 @@ double AngularMetric::Distance(const Vec& a, const Vec& b) const {
   return std::acos(c);
 }
 
+StatusOr<std::shared_ptr<const Metric>> MetricFromName(
+    const std::string& name) {
+  if (name == "euclidean") return {std::make_shared<EuclideanMetric>()};
+  if (name == "manhattan") return {std::make_shared<ManhattanMetric>()};
+  if (name == "chebyshev") return {std::make_shared<ChebyshevMetric>()};
+  if (name == "angular") return {std::make_shared<AngularMetric>()};
+  return Status::NotSupported("metric \"" + name +
+                              "\" cannot be reconstructed from its name; "
+                              "supply it explicitly");
+}
+
 }  // namespace msq

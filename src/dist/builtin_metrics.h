@@ -5,6 +5,7 @@
 #ifndef MSQ_DIST_BUILTIN_METRICS_H_
 #define MSQ_DIST_BUILTIN_METRICS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,15 @@ class AngularMetric : public Metric {
   double Distance(const Vec& a, const Vec& b) const override;
   std::string Name() const override { return "angular"; }
 };
+
+/// Reconstructs a parameterless built-in metric from its Name() string
+/// ("euclidean", "manhattan", "chebyshev", "angular") — the inverse the
+/// persistent store needs when reopening a saved database. Parameterized
+/// metrics (minkowski, weighted Euclidean, quadratic form) cannot be
+/// rebuilt from a name alone and yield NotSupported; callers must supply
+/// those explicitly.
+StatusOr<std::shared_ptr<const Metric>> MetricFromName(
+    const std::string& name);
 
 }  // namespace msq
 

@@ -83,6 +83,11 @@ Status MTreeBackend::Insert(ObjectId id) {
   if (id >= dataset_->size()) {
     return Status::InvalidArgument("object id out of range");
   }
+  if (layout_.has_store()) {
+    // Re-finalizing would reshuffle pages out from under the on-disk
+    // extents; the persistent store is read-only by design.
+    return Status::NotSupported("cannot insert into a persistent store");
+  }
   finalized_ = false;
   // Descend: at each directory node pick the child whose region needs the
   // least (ideally zero) radius enlargement, enlarging along the path.
@@ -381,24 +386,24 @@ constexpr uint32_t kMTreeMagic = 0x4d53514d;  // "MSQM"
 constexpr uint32_t kMTreeVersion = 1;
 }  // namespace
 
-Status MTreeBackend::Save(const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  WriteU32(out, kMTreeMagic);
-  WriteU32(out, kMTreeVersion);
-  WriteU32(out, static_cast<uint32_t>(dataset_->dim()));
-  WriteU64(out, num_objects_indexed_);
-  WriteU32(out, static_cast<uint32_t>(options_.leaf_capacity));
-  WriteU32(out, static_cast<uint32_t>(options_.dir_capacity));
-  WriteU32(out, root_);
-  WriteU32(out, static_cast<uint32_t>(nodes_.size()));
+Status MTreeBackend::SaveTo(std::ostream& out) {
+  MSQ_RETURN_IF_ERROR(WriteU32(out, kMTreeMagic));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, kMTreeVersion));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(dataset_->dim())));
+  MSQ_RETURN_IF_ERROR(WriteU64(out, num_objects_indexed_));
+  MSQ_RETURN_IF_ERROR(
+      WriteU32(out, static_cast<uint32_t>(options_.leaf_capacity)));
+  MSQ_RETURN_IF_ERROR(
+      WriteU32(out, static_cast<uint32_t>(options_.dir_capacity)));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, root_));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(nodes_.size())));
   for (const MNode& node : nodes_) {
-    WriteU32(out, node.is_leaf ? 1 : 0);
-    WriteU32(out, node.parent);
-    WriteU32(out, node.routing_object);
-    WriteF64(out, node.radius);
-    WriteF64(out, node.dist_to_parent);
-    WriteVector(out, node.children);
+    MSQ_RETURN_IF_ERROR(WriteU32(out, node.is_leaf ? 1 : 0));
+    MSQ_RETURN_IF_ERROR(WriteU32(out, node.parent));
+    MSQ_RETURN_IF_ERROR(WriteU32(out, node.routing_object));
+    MSQ_RETURN_IF_ERROR(WriteF64(out, node.radius));
+    MSQ_RETURN_IF_ERROR(WriteF64(out, node.dist_to_parent));
+    MSQ_RETURN_IF_ERROR(WriteVector(out, node.children));
     std::vector<ObjectId> object_ids;
     std::vector<double> parent_dists;
     object_ids.reserve(node.objects.size());
@@ -407,9 +412,17 @@ Status MTreeBackend::Save(const std::string& path) {
       object_ids.push_back(e.object);
       parent_dists.push_back(e.dist_to_parent);
     }
-    WriteVector(out, object_ids);
-    WriteVector(out, parent_dists);
+    MSQ_RETURN_IF_ERROR(WriteVector(out, object_ids));
+    MSQ_RETURN_IF_ERROR(WriteVector(out, parent_dists));
   }
+  if (!out) return Status::IOError("write failed (M-tree index)");
+  return Status::OK();
+}
+
+Status MTreeBackend::Save(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  MSQ_RETURN_IF_ERROR(SaveTo(out));
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();
 }
@@ -417,11 +430,17 @@ Status MTreeBackend::Save(const std::string& path) {
 StatusOr<std::unique_ptr<MTreeBackend>> MTreeBackend::Load(
     const std::string& path, std::shared_ptr<const Dataset> dataset,
     std::shared_ptr<const Metric> metric, const MTreeOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadFrom(in, std::move(dataset), std::move(metric), options);
+}
+
+StatusOr<std::unique_ptr<MTreeBackend>> MTreeBackend::LoadFrom(
+    std::istream& in, std::shared_ptr<const Dataset> dataset,
+    std::shared_ptr<const Metric> metric, const MTreeOptions& options) {
   if (dataset == nullptr || dataset->empty()) {
     return Status::InvalidArgument("dataset is empty");
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
   uint32_t magic = 0, version = 0, dim = 0;
   MSQ_RETURN_IF_ERROR(ReadU32(in, &magic));
   MSQ_RETURN_IF_ERROR(ReadU32(in, &version));
@@ -622,11 +641,30 @@ const std::vector<ObjectId>& MTreeBackend::ReadPage(PageId page,
   return layout_.Read(page, stats);
 }
 
+StatusOr<const std::vector<ObjectId>*> MTreeBackend::ReadPageChecked(
+    PageId page, QueryStats* stats) {
+  if (!finalized_) Finalize();
+  const std::vector<ObjectId>* out = nullptr;
+  MSQ_RETURN_IF_ERROR(layout_.TryRead(page, stats, &out));
+  return out;
+}
+
 Status MTreeBackend::ReadPageBlockChecked(PageId page, QueryStats* stats,
                                           PageBlock* out) {
   if (!finalized_) Finalize();
-  layout_.ReadBlock(page, stats, out);
-  return Status::OK();
+  return layout_.TryReadBlock(page, stats, out);
+}
+
+DataLayout* MTreeBackend::MutableLayout() {
+  if (!finalized_) Finalize();
+  return &layout_;
+}
+
+Status MTreeBackend::SaveIndex(std::ostream& out) {
+  // Finalize first so the saved node -> page assignment is the one the
+  // persisted data pages use.
+  if (!finalized_) Finalize();
+  return SaveTo(out);
 }
 
 size_t MTreeBackend::NumDataPages() const {

@@ -88,12 +88,21 @@ class MTreeBackend : public QueryBackend {
   /// distances — not the objects themselves) to a binary file.
   Status Save(const std::string& path);
 
+  /// Serializes the index structure to a stream (the format behind Save;
+  /// also what the single-file page store embeds as its "index" object).
+  Status SaveTo(std::ostream& out);
+
   /// Restores an index saved with Save. The dataset (and metric!) must be
   /// the ones the index was built with; size and dimensionality are
   /// verified, and CheckInvariants re-validates the covering radii under
   /// the supplied metric.
   static StatusOr<std::unique_ptr<MTreeBackend>> Load(
       const std::string& path, std::shared_ptr<const Dataset> dataset,
+      std::shared_ptr<const Metric> metric, const MTreeOptions& options);
+
+  /// Stream counterpart of Load.
+  static StatusOr<std::unique_ptr<MTreeBackend>> LoadFrom(
+      std::istream& in, std::shared_ptr<const Dataset> dataset,
       std::shared_ptr<const Metric> metric, const MTreeOptions& options);
 
   // --- QueryBackend --------------------------------------------------
@@ -103,8 +112,12 @@ class MTreeBackend : public QueryBackend {
   double PageMinDist(PageId page, const Query& q, QueryStats* stats) override;
   const std::vector<ObjectId>& ReadPage(PageId page,
                                         QueryStats* stats) override;
+  StatusOr<const std::vector<ObjectId>*> ReadPageChecked(
+      PageId page, QueryStats* stats) override;
   Status ReadPageBlockChecked(PageId page, QueryStats* stats,
                               PageBlock* out) override;
+  DataLayout* MutableLayout() override;
+  Status SaveIndex(std::ostream& out) override;
   size_t NumDataPages() const override;
   size_t NumObjects() const override { return dataset_->size(); }
   const Vec& ObjectVec(ObjectId id) const override {

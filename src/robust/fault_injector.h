@@ -143,6 +143,10 @@ class FaultInjectingBackend : public QueryBackend {
   void SetMetricsSink(const obs::MetricsSink* sink) override {
     inner_->SetMetricsSink(sink);
   }
+  DataLayout* MutableLayout() override { return inner_->MutableLayout(); }
+  Status SaveIndex(std::ostream& out) override {
+    return inner_->SaveIndex(out);
+  }
 
   FaultInjector* injector() const { return injector_.get(); }
 

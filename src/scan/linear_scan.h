@@ -29,17 +29,30 @@ class LinearScanBackend : public QueryBackend {
   static StatusOr<std::unique_ptr<LinearScanBackend>> Build(
       std::shared_ptr<const Dataset> dataset, const LinearScanOptions& options);
 
+  /// Restores a backend from the index blob written by SaveIndex. The
+  /// layout geometry (objects per page, buffer pages) comes from the blob;
+  /// the dataset supplies the vectors.
+  static StatusOr<std::unique_ptr<LinearScanBackend>> LoadIndex(
+      std::istream& in, std::shared_ptr<const Dataset> dataset);
+
   std::string Name() const override { return "linear_scan"; }
   std::unique_ptr<CandidateStream> OpenStream(const Query& query,
                                               QueryStats* stats) override;
   double PageMinDist(PageId page, const Query& q, QueryStats* stats) override;
   const std::vector<ObjectId>& ReadPage(PageId page,
                                         QueryStats* stats) override;
+  StatusOr<const std::vector<ObjectId>*> ReadPageChecked(
+      PageId page, QueryStats* stats) override {
+    const std::vector<ObjectId>* out = nullptr;
+    MSQ_RETURN_IF_ERROR(layout_.TryRead(page, stats, &out));
+    return out;
+  }
   Status ReadPageBlockChecked(PageId page, QueryStats* stats,
                               PageBlock* out) override {
-    layout_.ReadBlock(page, stats, out);
-    return Status::OK();
+    return layout_.TryReadBlock(page, stats, out);
   }
+  DataLayout* MutableLayout() override { return &layout_; }
+  Status SaveIndex(std::ostream& out) override;
   size_t NumDataPages() const override { return layout_.num_pages(); }
   size_t NumObjects() const override { return dataset_->size(); }
   const Vec& ObjectVec(ObjectId id) const override {

@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/serialize.h"
 
 namespace msq {
+
+namespace {
+constexpr uint32_t kVaFileMagic = 0x4d535156;  // "MSQV"
+constexpr uint32_t kVaFileVersion = 1;
+}  // namespace
 
 VaFileBackend::VaFileBackend(std::shared_ptr<const Dataset> dataset,
                              std::shared_ptr<const Metric> metric,
@@ -171,6 +180,100 @@ double VaFileBackend::PageMinDist(PageId page, const Query& q,
 const std::vector<ObjectId>& VaFileBackend::ReadPage(PageId page,
                                                      QueryStats* stats) {
   return layout_.Read(page, stats);
+}
+
+Status VaFileBackend::SaveIndex(std::ostream& out) {
+  MSQ_RETURN_IF_ERROR(WriteU32(out, kVaFileMagic));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, kVaFileVersion));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(dataset_->dim())));
+  MSQ_RETURN_IF_ERROR(WriteU64(out, dataset_->size()));
+  MSQ_RETURN_IF_ERROR(
+      WriteU32(out, static_cast<uint32_t>(options_.bits_per_dim)));
+  MSQ_RETURN_IF_ERROR(WriteU64(out, layout_.Peek(0).size()));
+  MSQ_RETURN_IF_ERROR(WriteU64(out, layout_.buffer().capacity()));
+  MSQ_RETURN_IF_ERROR(WriteU64(out, approx_pages_));
+  MSQ_RETURN_IF_ERROR(WriteVector(out, grid_min_));
+  MSQ_RETURN_IF_ERROR(WriteVector(out, grid_max_));
+  MSQ_RETURN_IF_ERROR(WriteVector(out, cell_width_));
+  MSQ_RETURN_IF_ERROR(WriteVector(out, cells_));
+  for (size_t p = 0; p < layout_.num_pages(); ++p) {
+    MSQ_RETURN_IF_ERROR(WriteVector(out, page_lo_[p]));
+    MSQ_RETURN_IF_ERROR(WriteVector(out, page_hi_[p]));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<VaFileBackend>> VaFileBackend::LoadIndex(
+    std::istream& in, std::shared_ptr<const Dataset> dataset,
+    std::shared_ptr<const Metric> metric) {
+  if (dataset == nullptr || dataset->empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  const auto* box = dynamic_cast<const BoxDistanceMetric*>(metric.get());
+  if (box == nullptr) {
+    return Status::NotSupported(
+        "VA-file requires a metric with MINDIST support (Lp family); got " +
+        metric->Name());
+  }
+  uint32_t magic = 0, version = 0, dim = 0, bits = 0;
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &magic));
+  if (magic != kVaFileMagic) {
+    return Status::Corruption("not a VA-file index blob");
+  }
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &version));
+  if (version != kVaFileVersion) {
+    return Status::NotSupported("unsupported VA-file index version");
+  }
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &dim));
+  uint64_t n = 0, per_page = 0, buffer_pages = 0, approx_pages = 0;
+  MSQ_RETURN_IF_ERROR(ReadU64(in, &n));
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &bits));
+  MSQ_RETURN_IF_ERROR(ReadU64(in, &per_page));
+  MSQ_RETURN_IF_ERROR(ReadU64(in, &buffer_pages));
+  MSQ_RETURN_IF_ERROR(ReadU64(in, &approx_pages));
+  if (dim != dataset->dim() || n != dataset->size()) {
+    return Status::InvalidArgument("index built over a different dataset");
+  }
+  if (bits < 1 || bits > 16 || per_page == 0) {
+    return Status::Corruption("implausible VA-file header");
+  }
+  VaFileOptions opts;
+  opts.bits_per_dim = bits;
+  auto backend = std::unique_ptr<VaFileBackend>(
+      new VaFileBackend(std::move(dataset), std::move(metric), box, opts));
+  backend->cells_per_dim_ = static_cast<size_t>(1) << bits;
+  backend->approx_pages_ = static_cast<size_t>(approx_pages);
+  MSQ_RETURN_IF_ERROR(ReadVector(in, &backend->grid_min_));
+  MSQ_RETURN_IF_ERROR(ReadVector(in, &backend->grid_max_));
+  MSQ_RETURN_IF_ERROR(ReadVector(in, &backend->cell_width_));
+  MSQ_RETURN_IF_ERROR(ReadVector(in, &backend->cells_));
+  if (backend->grid_min_.size() != dim || backend->grid_max_.size() != dim ||
+      backend->cell_width_.size() != dim ||
+      backend->cells_.size() != static_cast<size_t>(n) * dim) {
+    return Status::Corruption("VA-file grid arrays malformed");
+  }
+  for (size_t i = 0; i < backend->cells_.size(); ++i) {
+    if (backend->cells_[i] >= backend->cells_per_dim_) {
+      return Status::Corruption("VA-file cell index out of range");
+    }
+  }
+  backend->layout_ = DataLayout::Sequential(
+      backend->dataset_->size(), static_cast<size_t>(per_page),
+      static_cast<size_t>(buffer_pages));
+  MSQ_RETURN_IF_ERROR(backend->layout_.CheckInvariants());
+  backend->layout_.MaterializeRows(dim, backend->dataset_->objects());
+  const size_t num_pages = backend->layout_.num_pages();
+  backend->page_lo_.resize(num_pages);
+  backend->page_hi_.resize(num_pages);
+  for (size_t p = 0; p < num_pages; ++p) {
+    MSQ_RETURN_IF_ERROR(ReadVector(in, &backend->page_lo_[p]));
+    MSQ_RETURN_IF_ERROR(ReadVector(in, &backend->page_hi_[p]));
+    if (backend->page_lo_[p].size() != dim ||
+        backend->page_hi_[p].size() != dim) {
+      return Status::Corruption("VA-file page MBR malformed");
+    }
+  }
+  return backend;
 }
 
 }  // namespace msq

@@ -42,17 +42,31 @@ class VaFileBackend : public QueryBackend {
       std::shared_ptr<const Dataset> dataset,
       std::shared_ptr<const Metric> metric, const VaFileOptions& options);
 
+  /// Restores a backend from the index blob written by SaveIndex — the
+  /// quantization grid, per-object cells, and page MBRs are read back
+  /// instead of recomputed.
+  static StatusOr<std::unique_ptr<VaFileBackend>> LoadIndex(
+      std::istream& in, std::shared_ptr<const Dataset> dataset,
+      std::shared_ptr<const Metric> metric);
+
   std::string Name() const override { return "va_file"; }
   std::unique_ptr<CandidateStream> OpenStream(const Query& query,
                                               QueryStats* stats) override;
   double PageMinDist(PageId page, const Query& q, QueryStats* stats) override;
   const std::vector<ObjectId>& ReadPage(PageId page,
                                         QueryStats* stats) override;
+  StatusOr<const std::vector<ObjectId>*> ReadPageChecked(
+      PageId page, QueryStats* stats) override {
+    const std::vector<ObjectId>* out = nullptr;
+    MSQ_RETURN_IF_ERROR(layout_.TryRead(page, stats, &out));
+    return out;
+  }
   Status ReadPageBlockChecked(PageId page, QueryStats* stats,
                               PageBlock* out) override {
-    layout_.ReadBlock(page, stats, out);
-    return Status::OK();
+    return layout_.TryReadBlock(page, stats, out);
   }
+  DataLayout* MutableLayout() override { return &layout_; }
+  Status SaveIndex(std::ostream& out) override;
   size_t NumDataPages() const override { return layout_.num_pages(); }
   size_t NumObjects() const override { return dataset_->size(); }
   const Vec& ObjectVec(ObjectId id) const override {

@@ -23,6 +23,12 @@ void BufferPool::SetMetricsSink(const obs::MetricsSink* sink) {
 }
 
 bool BufferPool::Access(PageId page, QueryStats* stats) {
+  if (Lookup(page, stats)) return true;
+  Admit(page);
+  return false;
+}
+
+bool BufferPool::Lookup(PageId page, QueryStats* stats) {
   if (capacity_ == 0) {
     if (misses_ != nullptr) misses_->Increment();
     return false;
@@ -35,14 +41,28 @@ bool BufferPool::Access(PageId page, QueryStats* stats) {
     return true;
   }
   if (misses_ != nullptr) misses_->Increment();
+  return false;
+}
+
+void BufferPool::Admit(PageId page, PageId* evicted) {
+  if (evicted != nullptr) *evicted = kInvalidPageId;
+  if (capacity_ == 0 || map_.count(page) > 0) return;
   if (map_.size() >= capacity_) {
-    map_.erase(lru_.back());
+    const PageId victim = lru_.back();
+    map_.erase(victim);
     lru_.pop_back();
     if (evictions_ != nullptr) evictions_->Increment();
+    if (evicted != nullptr) *evicted = victim;
   }
   lru_.push_front(page);
   map_[page] = lru_.begin();
-  return false;
+}
+
+void BufferPool::Evict(PageId page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
 }
 
 bool BufferPool::Contains(PageId page) const { return map_.count(page) > 0; }

@@ -35,8 +35,27 @@ class BufferPool {
   /// Records an access. Returns true on a hit (charging `buffer_hits` to
   /// `stats`); on a miss the page is admitted, evicting the least recently
   /// used page if full, and false is returned — the caller then charges the
-  /// disk model.
+  /// disk model. Equivalent to Lookup() followed by Admit() on a miss;
+  /// correct only when the subsequent "read" cannot fail (the modeled-I/O
+  /// path). Fallible readers must use Lookup/Admit so a page whose read
+  /// faulted is never left resident.
   bool Access(PageId page, QueryStats* stats);
+
+  /// Hit test WITHOUT admission. On a hit the page is promoted to most
+  /// recently used and `buffer_hits` is charged; on a miss only the miss
+  /// counter moves — the caller performs the read and calls Admit() only
+  /// if it succeeded.
+  bool Lookup(PageId page, QueryStats* stats);
+
+  /// Inserts a page (no-op if already resident or capacity is 0), evicting
+  /// the least recently used page first when full. The evicted page id (or
+  /// kInvalidPageId) is reported through `evicted` so callers caching
+  /// payloads alongside the pool can drop theirs in lockstep.
+  void Admit(PageId page, PageId* evicted = nullptr);
+
+  /// Removes a page if resident (used to undo an admission after a failed
+  /// read, so a retry is a true miss that re-reads).
+  void Evict(PageId page);
 
   /// True if the page is currently cached (no LRU update, no accounting).
   bool Contains(PageId page) const;

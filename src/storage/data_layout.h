@@ -8,6 +8,7 @@
 #ifndef MSQ_STORAGE_DATA_LAYOUT_H_
 #define MSQ_STORAGE_DATA_LAYOUT_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/stats.h"
@@ -16,6 +17,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
 #include "storage/page.h"
+#include "storage/page_file.h"
 
 namespace msq {
 
@@ -65,6 +67,44 @@ class DataLayout {
   /// the id list or the packed rows.
   void ReadBlock(PageId page, QueryStats* stats, PageBlock* out);
 
+  /// Fallible read: like Read, but when a persistent store is attached the
+  /// page payload comes from a real positioned read whose failure (I/O
+  /// error, checksum mismatch) is surfaced instead of asserted away. On
+  /// failure the page is NOT left resident in the buffer pool — a retry is
+  /// a true miss that re-reads. Without a store this is Read() and always
+  /// succeeds.
+  Status TryRead(PageId page, QueryStats* stats,
+                 const std::vector<ObjectId>** out);
+
+  /// Fallible counterpart of ReadBlock, same store semantics as TryRead.
+  /// The returned view is valid until the next read on this layout.
+  Status TryReadBlock(PageId page, QueryStats* stats, PageBlock* out);
+
+  /// Writes every page's payload (ids + packed rows) as extents of `store`
+  /// plus a "pages" directory object mapping page ids to extents. Requires
+  /// MaterializeRows. Layout metadata (which backend Save embeds in its
+  /// index blob) is not written here.
+  Status SaveToStore(PageFile* store) const;
+
+  /// Routes subsequent reads through `store`: page payloads (rows + tiles)
+  /// are dropped and re-read on demand from the extents recorded by
+  /// SaveToStore, with the buffer pool now tracking which payloads stay
+  /// resident. The page -> objects metadata remains in memory; the store's
+  /// "pages" directory is verified against it (page count, per-page
+  /// sizes, dimensionality).
+  Status AttachStore(std::shared_ptr<PageFile> store);
+
+  bool has_store() const { return store_ != nullptr; }
+  const PageFile* store() const { return store_.get(); }
+
+  /// Reads every object vector back from the "pages" directory of `store`
+  /// (the inverse of SaveToStore's data-page pass). `objects` is indexed by
+  /// ObjectId; every id must appear exactly once across the stored pages or
+  /// the store is rejected as corrupt. Used by MetricDatabase::Open to
+  /// reconstruct the dataset before the index blob is loaded.
+  static Status LoadStoredObjects(const PageFile& store, size_t* dim,
+                                  std::vector<Vec>* objects);
+
   /// Objects stored on `page`, without any accounting (for tests/tools).
   const std::vector<ObjectId>& Peek(PageId page) const;
 
@@ -93,6 +133,18 @@ class DataLayout {
   Status CheckInvariants() const;
 
  private:
+  /// Loads `page`'s payload from the store, verifying extent CRC, tag,
+  /// page id, and that the stored ids equal the resident metadata.
+  Status EnsurePageLoaded(PageId page);
+  /// Frees a page's cached payload (store mode only).
+  void DropPayload(PageId page);
+  /// Admits a freshly loaded page into the buffer pool, dropping the
+  /// payload of whatever got evicted so "resident in pool" and "payload
+  /// cached" stay in lockstep. With a zero-capacity pool only the most
+  /// recently read page keeps its payload (so returned views stay valid
+  /// until the next read).
+  void AdmitLoaded(PageId page);
+
   std::vector<std::vector<ObjectId>> pages_;
   /// Per-page packed rows (row i of page p is the vector of pages_[p][i]);
   /// empty until MaterializeRows.
@@ -105,6 +157,15 @@ class DataLayout {
   std::vector<PageId> page_of_;
   BufferPool buffer_;
   DiskModel disk_;
+
+  // Persistent-store mode (null when the layout is purely RAM-resident).
+  std::shared_ptr<PageFile> store_;
+  std::vector<PageFileExtent> extents_;
+  /// Whether row_data_/tile_data_ for the page are currently cached.
+  std::vector<uint8_t> loaded_;
+  /// With a zero-capacity buffer pool, the single page whose payload is
+  /// kept (the last one read).
+  PageId last_loaded_ = kInvalidPageId;
 };
 
 }  // namespace msq

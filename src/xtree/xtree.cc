@@ -128,6 +128,11 @@ Status XTreeBackend::Insert(ObjectId id) {
   if (id >= dataset_->size()) {
     return Status::InvalidArgument("object id out of range");
   }
+  if (layout_.has_store()) {
+    // Re-finalizing would reshuffle pages out from under the on-disk
+    // extents; the persistent store is read-only by design.
+    return Status::NotSupported("cannot insert into a persistent store");
+  }
   MarkDirty();
   const Vec& p = dataset_->object(id);
   const XNodeIndex leaf = ChooseSubtree(p);
@@ -439,37 +444,53 @@ constexpr uint32_t kXTreeMagic = 0x4d535158;  // "MSQX"
 constexpr uint32_t kXTreeVersion = 1;
 }  // namespace
 
-Status XTreeBackend::Save(const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  WriteU32(out, kXTreeMagic);
-  WriteU32(out, kXTreeVersion);
-  WriteU32(out, static_cast<uint32_t>(dataset_->dim()));
-  WriteU64(out, num_objects_indexed_);
-  WriteU32(out, static_cast<uint32_t>(options_.leaf_capacity));
-  WriteU32(out, static_cast<uint32_t>(options_.dir_capacity));
-  WriteU32(out, root_);
-  WriteU32(out, static_cast<uint32_t>(nodes_.size()));
+Status XTreeBackend::SaveTo(std::ostream& out) {
+  MSQ_RETURN_IF_ERROR(WriteU32(out, kXTreeMagic));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, kXTreeVersion));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(dataset_->dim())));
+  MSQ_RETURN_IF_ERROR(WriteU64(out, num_objects_indexed_));
+  MSQ_RETURN_IF_ERROR(
+      WriteU32(out, static_cast<uint32_t>(options_.leaf_capacity)));
+  MSQ_RETURN_IF_ERROR(
+      WriteU32(out, static_cast<uint32_t>(options_.dir_capacity)));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, root_));
+  MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(nodes_.size())));
   for (const XNode& node : nodes_) {
-    WriteU32(out, node.is_leaf ? 1 : 0);
-    WriteU32(out, node.multiplicity);
-    WriteU32(out, node.parent);
-    WriteU64(out, node.split_dims);
-    WriteVector(out, node.mbr.lo());
-    WriteVector(out, node.mbr.hi());
+    MSQ_RETURN_IF_ERROR(WriteU32(out, node.is_leaf ? 1 : 0));
+    MSQ_RETURN_IF_ERROR(WriteU32(out, node.multiplicity));
+    MSQ_RETURN_IF_ERROR(WriteU32(out, node.parent));
+    MSQ_RETURN_IF_ERROR(WriteU64(out, node.split_dims));
+    MSQ_RETURN_IF_ERROR(WriteVector(out, node.mbr.lo()));
+    MSQ_RETURN_IF_ERROR(WriteVector(out, node.mbr.hi()));
     // Entry MBRs mirror the child MBRs, so children suffice.
     std::vector<XNodeIndex> children;
     children.reserve(node.entries.size());
     for (const XDirEntry& e : node.entries) children.push_back(e.child);
-    WriteVector(out, children);
-    WriteVector(out, node.objects);
+    MSQ_RETURN_IF_ERROR(WriteVector(out, children));
+    MSQ_RETURN_IF_ERROR(WriteVector(out, node.objects));
   }
+  if (!out) return Status::IOError("write failed (X-tree index)");
+  return Status::OK();
+}
+
+Status XTreeBackend::Save(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  MSQ_RETURN_IF_ERROR(SaveTo(out));
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();
 }
 
 StatusOr<std::unique_ptr<XTreeBackend>> XTreeBackend::Load(
     const std::string& path, std::shared_ptr<const Dataset> dataset,
+    std::shared_ptr<const Metric> metric, const XTreeOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadFrom(in, std::move(dataset), std::move(metric), options);
+}
+
+StatusOr<std::unique_ptr<XTreeBackend>> XTreeBackend::LoadFrom(
+    std::istream& in, std::shared_ptr<const Dataset> dataset,
     std::shared_ptr<const Metric> metric, const XTreeOptions& options) {
   if (dataset == nullptr || dataset->empty()) {
     return Status::InvalidArgument("dataset is empty");
@@ -479,8 +500,6 @@ StatusOr<std::unique_ptr<XTreeBackend>> XTreeBackend::Load(
     return Status::NotSupported("X-tree requires a metric with MINDIST "
                                 "support (Lp family); got " + metric->Name());
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
   uint32_t magic = 0, version = 0, dim = 0;
   MSQ_RETURN_IF_ERROR(ReadU32(in, &magic));
   MSQ_RETURN_IF_ERROR(ReadU32(in, &version));
@@ -835,11 +854,30 @@ const std::vector<ObjectId>& XTreeBackend::ReadPage(PageId page,
   return layout_.Read(page, stats);
 }
 
+StatusOr<const std::vector<ObjectId>*> XTreeBackend::ReadPageChecked(
+    PageId page, QueryStats* stats) {
+  if (!finalized_) Finalize();
+  const std::vector<ObjectId>* out = nullptr;
+  MSQ_RETURN_IF_ERROR(layout_.TryRead(page, stats, &out));
+  return out;
+}
+
 Status XTreeBackend::ReadPageBlockChecked(PageId page, QueryStats* stats,
                                           PageBlock* out) {
   if (!finalized_) Finalize();
-  layout_.ReadBlock(page, stats, out);
-  return Status::OK();
+  return layout_.TryReadBlock(page, stats, out);
+}
+
+DataLayout* XTreeBackend::MutableLayout() {
+  if (!finalized_) Finalize();
+  return &layout_;
+}
+
+Status XTreeBackend::SaveIndex(std::ostream& out) {
+  // Finalize first so the saved node -> page assignment is the one the
+  // persisted data pages use.
+  if (!finalized_) Finalize();
+  return SaveTo(out);
 }
 
 size_t XTreeBackend::NumDataPages() const {

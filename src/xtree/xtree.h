@@ -84,10 +84,19 @@ class XTreeBackend : public QueryBackend {
   /// dataset) to a binary file.
   Status Save(const std::string& path);
 
+  /// Serializes the index structure to a stream (the format behind Save;
+  /// also what the single-file page store embeds as its "index" object).
+  Status SaveTo(std::ostream& out);
+
   /// Restores an index saved with Save. The dataset must be the one the
   /// index was built over (size and dimensionality are verified).
   static StatusOr<std::unique_ptr<XTreeBackend>> Load(
       const std::string& path, std::shared_ptr<const Dataset> dataset,
+      std::shared_ptr<const Metric> metric, const XTreeOptions& options);
+
+  /// Stream counterpart of Load.
+  static StatusOr<std::unique_ptr<XTreeBackend>> LoadFrom(
+      std::istream& in, std::shared_ptr<const Dataset> dataset,
       std::shared_ptr<const Metric> metric, const XTreeOptions& options);
 
   // --- QueryBackend --------------------------------------------------
@@ -97,8 +106,12 @@ class XTreeBackend : public QueryBackend {
   double PageMinDist(PageId page, const Query& q, QueryStats* stats) override;
   const std::vector<ObjectId>& ReadPage(PageId page,
                                         QueryStats* stats) override;
+  StatusOr<const std::vector<ObjectId>*> ReadPageChecked(
+      PageId page, QueryStats* stats) override;
   Status ReadPageBlockChecked(PageId page, QueryStats* stats,
                               PageBlock* out) override;
+  DataLayout* MutableLayout() override;
+  Status SaveIndex(std::ostream& out) override;
   size_t NumDataPages() const override;
   size_t NumObjects() const override { return dataset_->size(); }
   const Vec& ObjectVec(ObjectId id) const override {

@@ -5,9 +5,14 @@
 //   msq_cli query    data=/tmp/astro.bin backend=xtree k=10 object=42
 //   msq_cli batch    data=/tmp/astro.bin backend=linear_scan m=50 k=10
 //   msq_cli dbscan   data=/tmp/astro.bin eps=0.08 min_pts=6
+//   msq_cli save     data=/tmp/astro.bin backend=xtree db=/tmp/astro.msq
+//   msq_cli query    db=/tmp/astro.msq k=10 object=42
 //
 // The binary dataset format is produced/consumed by Dataset::SaveBinary /
-// LoadBinary; `generate` also accepts out=*.csv.
+// LoadBinary; `generate` also accepts out=*.csv. `save` persists the built
+// database (data pages + index) as one page-store file, which the query
+// subcommands reopen via db= without rebuilding; answers_out= dumps
+// answers as hex floats so reopened results can be diffed bit-for-bit.
 
 #include <cstdio>
 #include <cstring>
@@ -157,23 +162,51 @@ int CmdInfo(int argc, char** argv) {
   return 0;
 }
 
+// Flags shared by every subcommand that opens a database.
+void DefineDbFlags(Flags* flags) {
+  flags->Define("data", "dataset.bin", "dataset path");
+  flags->Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  flags->Define("db", "",
+                "open this saved page-store database instead of building "
+                "one from data=");
+}
+
 StatusOr<std::unique_ptr<MetricDatabase>> OpenFromFlags(const Flags& flags) {
+  DatabaseOptions options;
+  options.multi.max_batch_size = 1024;
+  const std::string db_path = flags.GetString("db");
+  if (!db_path.empty()) {
+    // Reopen a saved database: backend kind and page geometry come from
+    // the file, queries run against real page reads.
+    return MetricDatabase::Open(db_path, options);
+  }
   auto dataset = LoadData(flags.GetString("data"));
   if (!dataset.ok()) return dataset.status();
-  DatabaseOptions options;
   options.backend = ParseBackend(flags.GetString("backend"));
-  options.multi.max_batch_size = 1024;
   return MetricDatabase::Open(std::move(dataset).value(),
                               std::make_shared<EuclideanMetric>(), options);
 }
 
+// Writes answers as "<id>\t<hex float>" lines: hex floats round-trip
+// doubles exactly, so two dumps are comparable bit-for-bit with cmp/diff.
+Status WriteAnswers(const std::string& path, const AnswerSet& answers) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  for (const Neighbor& nb : answers) {
+    std::fprintf(f, "%u\t%a\n", nb.id, nb.distance);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
 int CmdQuery(int argc, char** argv) {
   Flags flags;
-  flags.Define("data", "dataset.bin", "dataset path");
-  flags.Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  DefineDbFlags(&flags);
   flags.Define("object", "0", "query object id");
   flags.Define("k", "10", "neighbors (0 = use eps range instead)");
   flags.Define("eps", "0.1", "range radius when k=0");
+  flags.Define("answers_out", "",
+               "also write answers here as hex-float lines (bit-exact)");
   DefineObsFlags(&flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
@@ -197,14 +230,46 @@ int CmdQuery(int argc, char** argv) {
     std::printf("%u\t%.6f\t%d\n", nb.id, nb.distance,
                 (*db)->dataset().label(nb.id));
   }
+  const std::string answers_out = flags.GetString("answers_out");
+  if (!answers_out.empty()) {
+    if (Status s = WriteAnswers(answers_out, *answers); !s.ok()) {
+      return Fail(s);
+    }
+  }
   std::fprintf(stderr, "%s\n", (*db)->stats().ToString().c_str());
   return FinishObs(flags);
 }
 
-int CmdBatch(int argc, char** argv) {
+int CmdSave(int argc, char** argv) {
   Flags flags;
   flags.Define("data", "dataset.bin", "dataset path");
   flags.Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  flags.Define("db", "db.msq", "output page-store path");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  auto dataset = LoadData(flags.GetString("data"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  DatabaseOptions options;
+  options.backend = ParseBackend(flags.GetString("backend"));
+  auto db = MetricDatabase::Open(std::move(dataset).value(),
+                                 std::make_shared<EuclideanMetric>(),
+                                 options);
+  if (!db.ok()) return Fail(db.status());
+  const std::string out = flags.GetString("db");
+  WallTimer timer;
+  if (Status s = (*db)->Save(out); !s.ok()) return Fail(s);
+  std::printf("saved %zu objects (%s backend) to %s in %.1f ms\n",
+              (*db)->dataset().size(),
+              BackendKindName(options.backend).c_str(), out.c_str(),
+              timer.ElapsedMillis());
+  return 0;
+}
+
+int CmdBatch(int argc, char** argv) {
+  Flags flags;
+  DefineDbFlags(&flags);
   flags.Define("m", "50", "batch width");
   flags.Define("k", "10", "neighbors per query");
   flags.Define("seed", "1", "query sample seed");
@@ -240,8 +305,7 @@ int CmdBatch(int argc, char** argv) {
 
 int CmdDbscan(int argc, char** argv) {
   Flags flags;
-  flags.Define("data", "dataset.bin", "dataset path");
-  flags.Define("backend", "xtree", "linear_scan | xtree | mtree | va_file");
+  DefineDbFlags(&flags);
   flags.Define("eps", "0.08", "DBSCAN Eps");
   flags.Define("min_pts", "6", "DBSCAN MinPts");
   flags.Define("m", "64", "multiple-query batch width");
@@ -272,9 +336,10 @@ int CmdDbscan(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <generate|info|query|batch|dbscan> [key=value...]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s <generate|info|query|batch|dbscan|save> [key=value...]\n",
+        argv[0]);
     return 1;
   }
   const std::string command = argv[1];
@@ -285,6 +350,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(argc - 1, argv + 1);
   if (command == "batch") return CmdBatch(argc - 1, argv + 1);
   if (command == "dbscan") return CmdDbscan(argc - 1, argv + 1);
+  if (command == "save") return CmdSave(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }
