@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("num_queries"));
 
   std::printf("Figure 9 — average total query cost per similarity query\n");
+  BenchJsonWriter json(flags.GetString("json"));
 
   Workload workloads[2] = {
       MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
@@ -47,6 +48,11 @@ int main(int argc, char** argv) {
                     r.io_ms_per_query, r.cpu_ms_per_query, bound);
         (backend == BackendKind::kLinearScan ? scan_totals : xtree_totals)
             .push_back(r.total_ms_per_query);
+        json.BeginRecord("fig09_total_cost");
+        json.Str("workload", w.name);
+        json.Str("backend", BackendKindName(backend));
+        json.Int("m", m);
+        json.AddRunResult(r);
       }
     }
     // Crossover: first m where the scan beats the X-tree.

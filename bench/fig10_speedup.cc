@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("num_queries"));
 
   std::printf("Figure 10 — speed-up with respect to m (vs. m=1)\n");
+  BenchJsonWriter json(flags.GetString("json"));
 
   Workload workloads[2] = {
       MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
@@ -46,6 +47,12 @@ int main(int argc, char** argv) {
         std::printf("%-12s %-12s %6lld  %11.1fx\n", w.name.c_str(),
                     BackendKindName(backend).c_str(),
                     static_cast<long long>(m), speedup);
+        json.BeginRecord("fig10_speedup");
+        json.Str("workload", w.name);
+        json.Str("backend", BackendKindName(backend));
+        json.Int("m", m);
+        json.Num("speedup", speedup);
+        json.AddRunResult(r);
         prev = speedup;
       }
       std::printf("summary[%s/%s]: speed-up at max m = %.1fx "

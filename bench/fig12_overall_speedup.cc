@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
   flags.Define("m_per_server", "100", "batch width per server (paper: 100)");
   flags.Define("baseline_queries", "100",
                "queries measured for the single-query baseline");
+  flags.Define("json", "",
+               "write one JSON record per configuration to this file");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 12 — overall speed-up: parallel multiple queries vs. "
               "sequential single queries\n");
+  BenchJsonWriter json(flags.GetString("json"));
 
   Workload workloads[2] = {
       MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n_astro")),
@@ -95,10 +98,18 @@ int main(int argc, char** argv) {
         }
         const double per_query = (*cluster)->ModeledElapsedMillis() /
                                  static_cast<double>(queries.size());
+        const double overall =
+            per_query > 0 ? base.total_ms_per_query / per_query : 0.0;
         std::printf("%-12s %-12s %3zu %6zu  %11.0fx\n", w.name.c_str(),
-                    BackendKindName(backend).c_str(), s, batch,
-                    per_query > 0 ? base.total_ms_per_query / per_query
-                                  : 0.0);
+                    BackendKindName(backend).c_str(), s, batch, overall);
+        json.BeginRecord("fig12_overall_speedup");
+        json.Str("workload", w.name);
+        json.Str("backend", BackendKindName(backend));
+        json.Int("s", static_cast<int64_t>(s));
+        json.Int("m", static_cast<int64_t>(batch));
+        json.Num("overall_speedup", overall);
+        json.Num("baseline_total_ms_per_query", base.total_ms_per_query);
+        json.Num("modeled_parallel_ms_per_query", per_query);
       }
       std::printf("(paper: astro s=16 — scan 374x, xtree 128x; "
                   "image s=8 — scan 279x, xtree 52x)\n");

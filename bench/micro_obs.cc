@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace msq {
 namespace {
@@ -37,6 +38,18 @@ void BM_HistogramObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramObserve);
 
+void BM_SlidingWindowObserve(benchmark::State& state) {
+  obs::SlidingWindowHistogram hist(obs::LatencyBoundariesMicros(),
+                                   std::chrono::seconds(10));
+  double v = 0.5;
+  for (auto _ : state) {
+    hist.Observe(v);
+    v = v < 1e6 ? v * 1.7 : 0.5;  // sweep across buckets
+  }
+  benchmark::DoNotOptimize(hist.Snap().count);
+}
+BENCHMARK(BM_SlidingWindowObserve);
+
 void BM_ScopedSpanDisabled(benchmark::State& state) {
   obs::Tracer tracer;  // disabled by default
   for (auto _ : state) {
@@ -46,9 +59,13 @@ void BM_ScopedSpanDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ScopedSpanDisabled);
 
-/// ExecuteAll over a small astronomy-like dataset under the three sink
-/// configurations. sink: 0 = nullptr (no-op), 1 = default registry,
-/// 2 = registry + enabled tracer.
+/// ExecuteAll over a small astronomy-like dataset under the sink
+/// configurations. sink: 0 = nullptr (no-op; must match the
+/// pre-instrumentation engine cost — per-page attribution timers are gated
+/// behind a non-null sink, so this row also re-verifies zero overhead with
+/// attribution code compiled in), 1 = default registry with latency
+/// attribution, 2 = registry + enabled tracer, 3 = registry with
+/// attribution off (isolates the per-page WallTimer cost).
 void BM_ExecuteAllSink(benchmark::State& state) {
   const int sink_mode = static_cast<int>(state.range(0));
   TychoLikeOptions gen;
@@ -58,6 +75,7 @@ void BM_ExecuteAllSink(benchmark::State& state) {
   options.backend = BackendKind::kLinearScan;
   options.multi.metrics =
       sink_mode == 0 ? nullptr : obs::MetricsSink::Default();
+  options.multi.enable_attribution = sink_mode != 3;
   auto db = MetricDatabase::Open(MakeTychoLikeDataset(gen),
                                  std::make_shared<EuclideanMetric>(), options);
   if (!db.ok()) {
@@ -84,11 +102,12 @@ void BM_ExecuteAllSink(benchmark::State& state) {
     obs::Tracer::Global()->Disable();
     obs::Tracer::Global()->Clear();
   }
-  static const char* const kLabels[] = {"sink=null", "sink=registry",
-                                        "sink=registry+trace"};
+  static const char* const kLabels[] = {"sink=null", "sink=registry attr=on",
+                                        "sink=registry+trace",
+                                        "sink=registry attr=off"};
   state.SetLabel(kLabels[sink_mode]);
 }
-BENCHMARK(BM_ExecuteAllSink)->Arg(0)->Arg(1)->Arg(2)
+BENCHMARK(BM_ExecuteAllSink)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validates a load_harness run against its contract and the committed
+baseline.
+
+The harness binary already enforces the hard invariants itself (exit
+non-zero when nothing completed, when any attribution component histogram
+stayed empty, or when the summed per-query component times disagree with
+measured end-to-end latency beyond the tolerance); this script re-checks
+the emitted record and the Prometheus dump independently, so a bug that
+breaks the record *and* the binary's own check the same way still has to
+fool two implementations. Against the committed baseline it only checks
+coarse shape (all completion classes accounted for, throughput not
+collapsed) — latencies are hardware-dependent and never compared.
+
+Checks on the fresh record (json= output of load_harness):
+  - every submitted query is accounted for: ok + shed + rejected + failed
+    == submitted, and ok > 0;
+  - attribution_mismatch_pct <= tolerance (default 5);
+  - a comp_p99_ms_<component> field exists for all 9 components;
+  - achieved_qps >= --min-qps-fraction (default 0.25) of the baseline's.
+
+Checks on the Prometheus dump (metrics_dump= output):
+  - msq_latency_component_seconds_count{component="..."} > 0 for all 9
+    components;
+  - the p999 summary quantile is exported for the end-to-end latency
+    histogram;
+  - the sliding-window histogram family is present.
+
+Usage:
+  check_load.py --record load_bench.json --prometheus load_metrics.txt
+      --baseline bench/BENCH_load.json [--tolerance 5]
+      [--min-qps-fraction 0.25]
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+COMPONENTS = [
+    "queue_wait",
+    "dispatch",
+    "lock_wait",
+    "matrix_build",
+    "page_io",
+    "kernel",
+    "engine_other",
+    "retry",
+    "merge",
+]
+
+
+def fail(msg):
+    print(f"check_load: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_record(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+    records = [r for r in records if r.get("bench") == "load_harness"]
+    if not records:
+        fail(f"{path} holds no load_harness record")
+    return records[-1]
+
+
+def check_record(rec, tolerance):
+    for key in ("submitted", "ok", "shed", "rejected", "failed"):
+        if key not in rec:
+            fail(f"record is missing '{key}'")
+    total = rec["ok"] + rec["shed"] + rec["rejected"] + rec["failed"]
+    if total != rec["submitted"]:
+        fail(
+            f"completion classes do not account for every submission: "
+            f"ok+shed+rejected+failed = {total} != submitted = "
+            f"{rec['submitted']}"
+        )
+    if rec["ok"] <= 0:
+        fail("no queries completed (ok == 0)")
+    for comp in COMPONENTS:
+        if f"comp_p99_ms_{comp}" not in rec:
+            fail(f"record is missing comp_p99_ms_{comp}")
+    for key in ("p50_ms", "p99_ms", "p999_ms"):
+        if key not in rec:
+            fail(f"record is missing '{key}'")
+        if rec[key] < 0:
+            fail(f"{key} is negative: {rec[key]}")
+    if not rec["p50_ms"] <= rec["p99_ms"] <= rec["p999_ms"]:
+        fail(
+            f"latency percentiles are not monotone: p50={rec['p50_ms']} "
+            f"p99={rec['p99_ms']} p999={rec['p999_ms']}"
+        )
+    mismatch = rec.get("attribution_mismatch_pct")
+    if mismatch is None:
+        fail("record is missing attribution_mismatch_pct")
+    if mismatch > tolerance:
+        fail(
+            f"attributed component times disagree with measured e2e latency "
+            f"by {mismatch:.2f}% (tolerance {tolerance}%)"
+        )
+    if rec.get("chaos") and rec.get("crashes", 0) > 0 and "failovers" in rec:
+        # With chaos on and at least one crash during load, the failover
+        # machinery must have engaged (replication keeps answers complete).
+        if rec["failovers"] == 0 and rec["failed"] == 0 and rec["shed"] == 0:
+            fail(
+                "chaos crashed a server but no failover, failure or shed "
+                "was recorded — the faults cannot have reached the I/O path"
+            )
+
+
+def check_against_baseline(rec, baseline, min_qps_fraction):
+    base_qps = baseline.get("achieved_qps", 0)
+    got_qps = rec.get("achieved_qps", 0)
+    if base_qps > 0 and got_qps < min_qps_fraction * base_qps:
+        fail(
+            f"throughput collapsed: {got_qps:.1f} qps < "
+            f"{min_qps_fraction} x baseline {base_qps:.1f} qps"
+        )
+    for key in ("servers", "replication", "chaos"):
+        if key in baseline and key in rec and rec[key] != baseline[key]:
+            fail(
+                f"configuration drift vs. baseline on '{key}': "
+                f"{rec[key]} != {baseline[key]}"
+            )
+
+
+def check_prometheus(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    for comp in COMPONENTS:
+        pattern = (
+            r"msq_latency_component_seconds_count\{component=\""
+            + comp
+            + r"\"\} (\d+)"
+        )
+        m = re.search(pattern, text)
+        if not m:
+            fail(f"{path}: no count series for component '{comp}'")
+        if int(m.group(1)) <= 0:
+            fail(f"{path}: component '{comp}' was never observed")
+    if not re.search(
+        r"msq_scheduler_latency_micros_summary\{quantile=\"0.999\"\} ", text
+    ):
+        fail(f"{path}: p999 summary quantile of the e2e latency is missing")
+    if "msq_scheduler_latency_window_micros_bucket" not in text:
+        fail(f"{path}: sliding-window latency histogram family is missing")
+    return text
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--record", required=True, help="json= output of the run")
+    p.add_argument(
+        "--prometheus", required=True, help="metrics_dump= output of the run"
+    )
+    p.add_argument(
+        "--baseline", help="committed baseline record (bench/BENCH_load.json)"
+    )
+    p.add_argument("--tolerance", type=float, default=5.0)
+    p.add_argument("--min-qps-fraction", type=float, default=0.25)
+    args = p.parse_args()
+
+    rec = load_record(args.record)
+    check_record(rec, args.tolerance)
+    check_prometheus(args.prometheus)
+    if args.baseline:
+        baseline = load_record(args.baseline)
+        check_against_baseline(rec, baseline, args.min_qps_fraction)
+
+    print(
+        f"check_load: OK ({rec['ok']}/{rec['submitted']} ok, "
+        f"{rec.get('achieved_qps', 0):.1f} qps, p999 "
+        f"{rec.get('p999_ms', 0):.2f} ms, mismatch "
+        f"{rec.get('attribution_mismatch_pct', 0):.2f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

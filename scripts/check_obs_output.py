@@ -44,7 +44,10 @@ def check_prometheus(path, required):
     with open(path, encoding="utf-8") as f:
         lines = f.read().splitlines()
     helped, typed, seen = set(), {}, set()
-    # family -> sorted list of (le, cumulative count), family -> count value
+    # (family, cell labels) -> list of (le, cumulative count) / count value.
+    # Keyed per cell, not per family: a family like
+    # msq_latency_component_seconds has one independent cumulative series
+    # per component label.
     buckets, counts = {}, {}
     for lineno, line in enumerate(lines, 1):
         if not line.strip():
@@ -75,18 +78,26 @@ def check_prometheus(path, required):
             if not le:
                 fail(f"{path}:{lineno}: _bucket sample without le label")
             bound = float("inf") if le.group(1) == "+Inf" else float(le.group(1))
-            buckets.setdefault(family, []).append((bound, float(value)))
+            cell = re.sub(r',?le="[^"]*"', "", labels)
+            if cell == "{}":  # le was the cell's only label
+                cell = ""
+            buckets.setdefault((family, cell), []).append(
+                (bound, float(value))
+            )
         elif name.endswith("_count"):
-            counts[family] = float(value)
-    for family, series in buckets.items():
+            counts[(family, labels)] = float(value)
+    for (family, cell), series in buckets.items():
         series.sort(key=lambda pair: pair[0])
         cumulative = [count for _, count in series]
         if cumulative != sorted(cumulative):
-            fail(f"{path}: histogram {family} buckets are not cumulative")
+            fail(
+                f"{path}: histogram {family}{cell} buckets are not cumulative"
+            )
         if series[-1][0] != float("inf"):
-            fail(f"{path}: histogram {family} is missing the +Inf bucket")
-        if family in counts and counts[family] != series[-1][1]:
-            fail(f"{path}: histogram {family} +Inf bucket != _count")
+            fail(f"{path}: histogram {family}{cell} is missing the +Inf bucket")
+        key = (family, cell)
+        if key in counts and counts[key] != series[-1][1]:
+            fail(f"{path}: histogram {family}{cell} +Inf bucket != _count")
     for name in required:
         if name not in seen:
             fail(f"{path}: required metric {name!r} not found")

@@ -35,6 +35,13 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   pages_skipped_buffered += other.pages_skipped_buffered;
   queries_completed += other.queries_completed;
   answers_produced += other.answers_produced;
+  attr_window_micros += other.attr_window_micros;
+  attr_matrix_micros += other.attr_matrix_micros;
+  attr_page_io_micros += other.attr_page_io_micros;
+  attr_kernel_micros += other.attr_kernel_micros;
+  attr_lock_wait_micros += other.attr_lock_wait_micros;
+  attr_retry_micros += other.attr_retry_micros;
+  attr_merge_micros += other.attr_merge_micros;
   return *this;
 }
 
@@ -56,6 +63,13 @@ QueryStats QueryStats::operator-(const QueryStats& other) const {
       pages_skipped_buffered - other.pages_skipped_buffered;
   d.queries_completed = queries_completed - other.queries_completed;
   d.answers_produced = answers_produced - other.answers_produced;
+  d.attr_window_micros = attr_window_micros - other.attr_window_micros;
+  d.attr_matrix_micros = attr_matrix_micros - other.attr_matrix_micros;
+  d.attr_page_io_micros = attr_page_io_micros - other.attr_page_io_micros;
+  d.attr_kernel_micros = attr_kernel_micros - other.attr_kernel_micros;
+  d.attr_lock_wait_micros = attr_lock_wait_micros - other.attr_lock_wait_micros;
+  d.attr_retry_micros = attr_retry_micros - other.attr_retry_micros;
+  d.attr_merge_micros = attr_merge_micros - other.attr_merge_micros;
   return d;
 }
 

@@ -90,6 +90,31 @@ struct QueryStats {
   /// Answers produced across all completed queries.
   uint64_t answers_produced = 0;
 
+  // --- Latency attribution (wall-clock microseconds) ------------------
+  // Measured elapsed-time shares of one execution, charged at stage
+  // boundaries when MultiQueryOptions::enable_attribution is on (and a
+  // metrics sink is attached — a null sink always disables them). Unlike
+  // the counters above these are wall times: additive across sequential
+  // work, but they double-count work that ran in parallel — a caller that
+  // wants them to sum to elapsed time (the load harness's attribution
+  // check) must execute sequentially per call.
+  /// Whole ExecuteInternal (shifting-window) calls.
+  double attr_window_micros = 0.0;
+  /// Query-distance matrix builds (Sec. 5.2 setup).
+  double attr_matrix_micros = 0.0;
+  /// Page reads, including injected latency spikes and real preads of a
+  /// store-backed database.
+  double attr_page_io_micros = 0.0;
+  /// Distance-kernel page processing (PageKernel::ProcessPage).
+  double attr_kernel_micros = 0.0;
+  /// Waiting to serialize on a single-threaded engine / replica database.
+  double attr_lock_wait_micros = 0.0;
+  /// Failed execution attempts (their unbilled tail) plus retry backoff
+  /// sleeps — the price of faults and failover, not of useful work.
+  double attr_retry_micros = 0.0;
+  /// Cluster-side merge of per-partition answers.
+  double attr_merge_micros = 0.0;
+
   uint64_t TotalPageReads() const { return random_page_reads + seq_page_reads; }
   uint64_t TotalDistComputations() const {
     return dist_computations + matrix_dist_computations;

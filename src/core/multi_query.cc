@@ -118,6 +118,10 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
   const ScopedStatsSink stats_scope(metric_, stats);
 
   const size_t m = queries.size();
+  // Latency attribution charges wall time at stage boundaries; gated on a
+  // live sink so the null-sink path stays timer-free per page.
+  const bool attribute =
+      options_.enable_attribution && options_.metrics != nullptr;
   WallTimer window_timer;
   obs::ScopedSpan window_span(tracer_, "engine.window", "engine");
   window_span.AddArg("m", static_cast<double>(m));
@@ -165,6 +169,9 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
     obs::ScopedSpan matrix_span(tracer_, "engine.matrix_build", "engine");
     WallTimer matrix_timer;
     qq_cache_.Prepare(queries, metric_, &qq_index);
+    if (attribute) {
+      stats->attr_matrix_micros += matrix_timer.ElapsedMicros();
+    }
     if (matrix_build_micros_ != nullptr) {
       matrix_build_micros_->Observe(matrix_timer.ElapsedMicros());
     }
@@ -300,7 +307,14 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
       page_span.AddArg("active", static_cast<double>(active.size()));
 
       PageBlock block;
-      Status read = backend_->ReadPageBlockChecked(page, stats, &block);
+      Status read;
+      if (attribute) {
+        WallTimer io_timer;
+        read = backend_->ReadPageBlockChecked(page, stats, &block);
+        stats->attr_page_io_micros += io_timer.ElapsedMicros();
+      } else {
+        read = backend_->ReadPageBlockChecked(page, stats, &block);
+      }
       if (!read.ok()) {
         // A failed read must not leave the page accounted: it was neither
         // processed nor proven irrelevant by a completed read, and a retry
@@ -325,10 +339,19 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
         }
         kernel_active.push_back(aq);
       }
-      kernel_.ProcessPage(block, kernel_active, metric_,
-                          use_avoidance ? &qq_cache_ : nullptr,
-                          options_.avoidance_max_witnesses,
-                          options_.use_batched_kernel, stats);
+      if (attribute) {
+        WallTimer kernel_timer;
+        kernel_.ProcessPage(block, kernel_active, metric_,
+                            use_avoidance ? &qq_cache_ : nullptr,
+                            options_.avoidance_max_witnesses,
+                            options_.use_batched_kernel, stats);
+        stats->attr_kernel_micros += kernel_timer.ElapsedMicros();
+      } else {
+        kernel_.ProcessPage(block, kernel_active, metric_,
+                            use_avoidance ? &qq_cache_ : nullptr,
+                            options_.avoidance_max_witnesses,
+                            options_.use_batched_kernel, stats);
+      }
       // Cold batches derive nothing before the first page saturates the
       // kNN lists; retry until every adaptive query has its bound.
       if (use_avoidance && !derived_done && derived_attempts_left > 0) {
@@ -356,6 +379,9 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
   }
   buffer_.EnforceCapacity(pinned);
 
+  if (attribute) {
+    stats->attr_window_micros += window_timer.ElapsedMicros();
+  }
   if (window_micros_ != nullptr) {
     window_micros_->Observe(window_timer.ElapsedMicros());
     window_size_->Observe(static_cast<double>(m));

@@ -57,6 +57,13 @@ struct MultiQueryOptions {
   /// the buffered partial answers, and the primary query stays incomplete
   /// (and resumable) in the AnswerBuffer.
   std::chrono::microseconds default_deadline{0};
+  /// Charge wall-clock stage timings (matrix build, page reads, kernel,
+  /// whole window) to QueryStats::attr_* so the serving layer can decompose
+  /// end-to-end latency. Only active when a metrics sink is attached — a
+  /// null sink always disables attribution, which keeps the verified
+  /// zero-overhead property of the null-sink path (per-page clock reads are
+  /// the only cost attribution adds).
+  bool enable_attribution = true;
   /// Observability sink. Default: the process-global registry + tracer.
   /// nullptr disables all engine instrumentation (zero-overhead no-op);
   /// every completed call publishes its QueryStats delta here, so the

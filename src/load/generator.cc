@@ -1,0 +1,211 @@
+#include "load/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace msq::load {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One submitted query waiting to be drained.
+struct Outstanding {
+  AnswerFuture future;
+  Clock::time_point scheduled;  // arrival per the Poisson schedule
+  size_t tenant = 0;
+};
+
+/// Bounded MPMC queue between producers and waiters. Producers block when
+/// full (backpressure on the harness, not the system under test); waiters
+/// block when empty until closed.
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(size_t bound) : bound_(bound ? bound : 1) {}
+
+  void Push(Outstanding item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return items_.size() < bound_; });
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+  }
+
+  /// False when the queue is closed and drained.
+  bool Pop(Outstanding* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+ private:
+  const size_t bound_;
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<Outstanding> items_;
+  bool closed_ = false;
+};
+
+/// Per-waiter tallies, merged after the join (no shared counters on the
+/// completion path).
+struct WaiterLocal {
+  std::vector<double> latencies_micros;
+  std::vector<TenantResult> tenants;
+  Clock::time_point last_done{};
+};
+
+}  // namespace
+
+double LoadResult::LatencyPercentileMicros(double p) const {
+  if (latencies_micros.empty()) return 0.0;
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 *
+      static_cast<double>(latencies_micros.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, latencies_micros.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return latencies_micros[lo] +
+         frac * (latencies_micros[hi] - latencies_micros[lo]);
+}
+
+LoadGenerator::LoadGenerator(BatchScheduler* scheduler, LoadOptions options,
+                             QueryFactory factory)
+    : scheduler_(scheduler),
+      options_(std::move(options)),
+      factory_(std::move(factory)) {}
+
+LoadResult LoadGenerator::Run() {
+  const size_t num_producers = std::max<size_t>(options_.num_producers, 1);
+  const size_t num_waiters = std::max<size_t>(options_.num_waiters, 1);
+  const TenantMix mix(options_.tenants);
+
+  // Each tenant gets its own Zipf popularity curve; samplers are shared
+  // (const after construction) while every producer draws with its own rng.
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(mix.size());
+  for (size_t t = 0; t < mix.size(); ++t) {
+    samplers.emplace_back(std::max<size_t>(options_.num_objects, 1),
+                          mix.tenant(t).zipf_s,
+                          options_.seed * 7919 + t);
+  }
+
+  CompletionQueue queue(options_.max_outstanding);
+  std::vector<WaiterLocal> waiter_results(num_waiters);
+  for (WaiterLocal& w : waiter_results) {
+    w.tenants.resize(mix.size());
+    for (size_t t = 0; t < mix.size(); ++t)
+      w.tenants[t].name = mix.tenant(t).name;
+  }
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(num_waiters);
+  for (size_t w = 0; w < num_waiters; ++w) {
+    waiters.emplace_back([&queue, local = &waiter_results[w]] {
+      Outstanding item;
+      while (queue.Pop(&item)) {
+        StatusOr<AnswerSet> result = item.future.get();
+        const Clock::time_point done = Clock::now();
+        TenantResult& tr = local->tenants[item.tenant];
+        if (result.ok()) {
+          ++tr.ok;
+          local->latencies_micros.push_back(
+              std::chrono::duration<double, std::micro>(done - item.scheduled)
+                  .count());
+        } else if (result.status().IsResourceExhausted()) {
+          ++tr.shed;
+        } else if (result.status().IsInvalidArgument()) {
+          ++tr.rejected;
+        } else {
+          ++tr.failed;
+        }
+        if (done > local->last_done) local->last_done = done;
+      }
+    });
+  }
+
+  // Producers split the aggregate rate evenly; each runs its own seeded
+  // Poisson schedule against an absolute timeline, so a slow Submit makes
+  // the next arrivals late (and submitted immediately), never rescheduled.
+  std::vector<std::vector<uint64_t>> submitted_per_producer(
+      num_producers, std::vector<uint64_t>(mix.size(), 0));
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end = start + options_.duration;
+
+  std::vector<std::thread> producers;
+  producers.reserve(num_producers);
+  for (size_t pidx = 0; pidx < num_producers; ++pidx) {
+    producers.emplace_back([&, pidx] {
+      PoissonArrivals arrivals(
+          options_.target_qps / static_cast<double>(num_producers),
+          options_.seed * 31 + pidx);
+      Rng rng(options_.seed * 131 + pidx);
+      std::vector<uint64_t>& submitted = submitted_per_producer[pidx];
+      Clock::time_point next = start + arrivals.NextGap();
+      while (next < end) {
+        std::this_thread::sleep_until(next);  // no-op once we are behind
+        const size_t tenant_idx = mix.PickIndex(rng);
+        const TenantSpec& spec = mix.tenant(tenant_idx);
+        const uint64_t object_id = samplers[tenant_idx].Sample(rng);
+        Query query = factory_(spec, object_id);
+        query.id = (static_cast<QueryId>(tenant_idx) << kTenantIdShift) |
+                   static_cast<QueryId>(object_id);
+        AnswerFuture future = scheduler_->Submit(std::move(query));
+        ++submitted[tenant_idx];
+        queue.Push(Outstanding{std::move(future), next, tenant_idx});
+        next += arrivals.NextGap();
+      }
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : waiters) t.join();
+
+  LoadResult result;
+  result.tenants.resize(mix.size());
+  for (size_t t = 0; t < mix.size(); ++t)
+    result.tenants[t].name = mix.tenant(t).name;
+  Clock::time_point last_done = start;
+  for (size_t w = 0; w < num_waiters; ++w) {
+    const WaiterLocal& local = waiter_results[w];
+    for (size_t t = 0; t < mix.size(); ++t) {
+      TenantResult& tr = result.tenants[t];
+      tr.ok += local.tenants[t].ok;
+      tr.shed += local.tenants[t].shed;
+      tr.rejected += local.tenants[t].rejected;
+      tr.failed += local.tenants[t].failed;
+    }
+    result.latencies_micros.insert(result.latencies_micros.end(),
+                                   local.latencies_micros.begin(),
+                                   local.latencies_micros.end());
+    if (local.last_done > last_done) last_done = local.last_done;
+  }
+  for (size_t pidx = 0; pidx < num_producers; ++pidx)
+    for (size_t t = 0; t < mix.size(); ++t)
+      result.tenants[t].submitted += submitted_per_producer[pidx][t];
+  for (const TenantResult& tr : result.tenants) {
+    result.submitted += tr.submitted;
+    result.ok += tr.ok;
+    result.shed += tr.shed;
+    result.rejected += tr.rejected;
+    result.failed += tr.failed;
+  }
+  std::sort(result.latencies_micros.begin(), result.latencies_micros.end());
+  result.wall_seconds =
+      std::chrono::duration<double>(last_done - start).count();
+  return result;
+}
+
+}  // namespace msq::load

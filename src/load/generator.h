@@ -1,0 +1,109 @@
+// Open-loop load generator driving a BatchScheduler.
+//
+// Producer threads submit queries on a Poisson schedule regardless of how
+// fast the system answers (open loop): when the system falls behind, the
+// producers do not slow down — they submit the overdue arrivals
+// immediately, so backlog and shedding become visible instead of being
+// hidden by a closed feedback loop. Latency is measured from each query's
+// *scheduled* arrival time, not from when the producer got around to
+// submitting it, which is the standard guard against coordinated
+// omission.
+//
+// Completions are drained by separate waiter threads through a bounded
+// queue, so a stalled future never blocks the arrival schedule.
+
+#ifndef MSQ_LOAD_GENERATOR_H_
+#define MSQ_LOAD_GENERATOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/query.h"
+#include "load/workload.h"
+#include "service/batch_scheduler.h"
+
+namespace msq::load {
+
+struct LoadOptions {
+  /// Aggregate target arrival rate across all producers.
+  double target_qps = 500.0;
+  std::chrono::milliseconds duration{5000};
+  size_t num_producers = 2;
+  size_t num_waiters = 2;
+  uint64_t seed = 1;
+  /// Object-id population each tenant's Zipf sampler draws from
+  /// (normally the database size).
+  size_t num_objects = 1;
+  /// Tenant mix; empty = one default tenant.
+  std::vector<TenantSpec> tenants;
+  /// Bound on completions waiting to be drained before producers block
+  /// (backpressure on the harness itself, not on the system under test).
+  size_t max_outstanding = 65536;
+};
+
+/// Per-tenant completion counts.
+struct TenantResult {
+  std::string name;
+  uint64_t submitted = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;      ///< ResourceExhausted: overload or quorum gate
+  uint64_t rejected = 0;  ///< InvalidArgument: should be zero
+  uint64_t failed = 0;    ///< everything else (quorum loss, deadline, I/O)
+};
+
+struct LoadResult {
+  /// Start of the arrival schedule to the last drained completion.
+  double wall_seconds = 0.0;
+  uint64_t submitted = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+  uint64_t failed = 0;
+  /// Latency (scheduled arrival -> completion) of every OK query, in
+  /// microseconds, unordered. Exact percentiles come from sorting this.
+  std::vector<double> latencies_micros;
+  std::vector<TenantResult> tenants;
+
+  double achieved_qps() const {
+    return wall_seconds > 0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+  }
+  /// Exact percentile (p in [0, 100]) of the OK latencies; requires
+  /// latencies_micros sorted ascending. 0 when empty.
+  double LatencyPercentileMicros(double p) const;
+};
+
+/// Drives one BatchScheduler with the configured workload.
+///
+/// Query ids are tenant-scoped object ids: (tenant_index << 40) | object.
+/// A popular object re-queried within one tenant reuses its id, so those
+/// submissions coalesce in the scheduler / hit the engine's answer buffer
+/// (the web-workload effect the paper's buffering targets); two tenants
+/// never collide on an id even when they query the same object with
+/// different k.
+class LoadGenerator {
+ public:
+  /// Builds the Query for one arrival. Must set point and type; the id is
+  /// assigned by the generator as described above.
+  using QueryFactory = std::function<Query(const TenantSpec& tenant,
+                                           uint64_t object_id)>;
+
+  LoadGenerator(BatchScheduler* scheduler, LoadOptions options,
+                QueryFactory factory);
+
+  /// Runs the full arrival schedule and drains every completion. Blocking;
+  /// call once.
+  LoadResult Run();
+
+  static constexpr int kTenantIdShift = 40;
+
+ private:
+  BatchScheduler* scheduler_;
+  LoadOptions options_;
+  QueryFactory factory_;
+};
+
+}  // namespace msq::load
+
+#endif  // MSQ_LOAD_GENERATOR_H_

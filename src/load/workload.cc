@@ -1,0 +1,79 @@
+#include "load/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msq::load {
+
+ZipfSampler::ZipfSampler(size_t n, double s, uint64_t seed) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding at the top
+
+  perm_.resize(n);
+  for (size_t i = 0; i < n; ++i) perm_[i] = i;
+  Rng rng(seed);
+  // Fisher–Yates with the repo's deterministic rng.
+  for (size_t i = n - 1; i > 0; --i) {
+    const size_t j = static_cast<size_t>(rng.NextIndex(i + 1));
+    std::swap(perm_[i], perm_[j]);
+  }
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const size_t rank = std::min<size_t>(
+      static_cast<size_t>(it - cdf_.begin()), perm_.size() - 1);
+  return perm_[rank];
+}
+
+PoissonArrivals::PoissonArrivals(double rate_per_second, uint64_t seed)
+    : mean_nanos_(rate_per_second > 0 ? 1e9 / rate_per_second : 0.0),
+      rng_(seed) {}
+
+std::chrono::nanoseconds PoissonArrivals::NextGap() {
+  if (mean_nanos_ <= 0.0) return std::chrono::nanoseconds(0);
+  // Inverse-CDF exponential; 1 - U in (0, 1] keeps the log finite.
+  const double u = rng_.NextDouble();
+  const double gap = -mean_nanos_ * std::log(1.0 - u);
+  return std::chrono::nanoseconds(static_cast<int64_t>(gap));
+}
+
+TenantMix::TenantMix(std::vector<TenantSpec> tenants)
+    : tenants_(std::move(tenants)) {
+  if (tenants_.empty()) tenants_.push_back(TenantSpec{});
+  std::vector<double> weights;
+  weights.reserve(tenants_.size());
+  double total = 0.0;
+  for (const TenantSpec& t : tenants_) {
+    weights.push_back(std::max(t.weight, 0.0));
+    total += weights.back();
+  }
+  if (total <= 0.0) {  // all-zero weights: uniform mix
+    weights.assign(tenants_.size(), 1.0);
+    total = static_cast<double>(tenants_.size());
+  }
+  cumulative_.reserve(tenants_.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t TenantMix::PickIndex(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return std::min<size_t>(static_cast<size_t>(it - cumulative_.begin()),
+                          tenants_.size() - 1);
+}
+
+}  // namespace msq::load

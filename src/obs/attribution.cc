@@ -1,0 +1,48 @@
+#include "obs/attribution.h"
+
+namespace msq::obs {
+
+const char* LatencyComponentName(LatencyComponent c) {
+  switch (c) {
+    case LatencyComponent::kQueueWait:
+      return "queue_wait";
+    case LatencyComponent::kDispatch:
+      return "dispatch";
+    case LatencyComponent::kLockWait:
+      return "lock_wait";
+    case LatencyComponent::kMatrixBuild:
+      return "matrix_build";
+    case LatencyComponent::kPageIo:
+      return "page_io";
+    case LatencyComponent::kKernel:
+      return "kernel";
+    case LatencyComponent::kEngineOther:
+      return "engine_other";
+    case LatencyComponent::kRetry:
+      return "retry";
+    case LatencyComponent::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+std::vector<double> LatencySecondsBoundaries() {
+  std::vector<double> b;
+  double v = 1e-6;
+  for (int i = 0; i < 25; ++i) {
+    b.push_back(v);
+    v *= 2.0;
+  }
+  return b;
+}
+
+double BatchAttribution::AttributedMicros() const {
+  double batch_level = 0.0;
+  for (size_t i = 1; i < kNumLatencyComponents; ++i) {
+    batch_level += component_micros[i];
+  }
+  return component_micros[static_cast<size_t>(LatencyComponent::kQueueWait)] +
+         static_cast<double>(batch_size) * batch_level;
+}
+
+}  // namespace msq::obs

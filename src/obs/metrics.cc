@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/window.h"
+
 namespace msq::obs {
 
 namespace {
@@ -37,6 +39,58 @@ std::string JoinLabels(const std::string& a, const std::string& b) {
   if (a.empty()) return b;
   if (b.empty()) return a;
   return a + "," + b;
+}
+
+/// Renders the `<name>_summary` gauge family: one line per (cell, quantile)
+/// with quantile="0.5"/"0.9"/"0.99"/"0.999". Shared by cumulative and
+/// sliding-window histogram families; `snaps` pairs each cell's label
+/// string with its snapshot.
+void AppendSummaryFamily(
+    const std::string& name,
+    const std::vector<std::pair<std::string, Histogram::Snapshot>>& snaps,
+    std::string* out) {
+  static constexpr struct {
+    const char* label;
+    double pct;
+  } kQuantiles[] = {
+      {"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}, {"0.999", 99.9}};
+  const std::string summary = name + "_summary";
+  *out += "# HELP " + summary + " Percentiles of " + name +
+          " (p50/p90/p99/p999)\n";
+  *out += "# TYPE " + summary + " gauge\n";
+  for (const auto& [labels, snap] : snaps) {
+    for (const auto& q : kQuantiles) {
+      *out += SampleLine(
+          summary,
+          JoinLabels(labels, std::string("quantile=\"") + q.label + "\""),
+          FormatValue(snap.Percentile(q.pct)));
+    }
+  }
+}
+
+/// Renders one histogram family (bucket/sum/count lines) from snapshots,
+/// then its summary family.
+void AppendHistogramFamily(
+    const std::string& name, const std::string& help,
+    const std::vector<std::pair<std::string, Histogram::Snapshot>>& snaps,
+    std::string* out) {
+  if (!help.empty()) *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " histogram\n";
+  for (const auto& [labels, snap] : snaps) {
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      cumulative += snap.counts[i];
+      const double edge = i < snap.boundaries.size()
+                              ? snap.boundaries[i]
+                              : std::numeric_limits<double>::infinity();
+      out->append(SampleLine(
+          name + "_bucket", JoinLabels(labels, "le=\"" + FormatValue(edge) + "\""),
+          std::to_string(cumulative)));
+    }
+    *out += SampleLine(name + "_sum", labels, FormatValue(snap.sum));
+    *out += SampleLine(name + "_count", labels, std::to_string(snap.count));
+  }
+  AppendSummaryFamily(name, snaps, out);
 }
 
 }  // namespace
@@ -169,6 +223,24 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return cell.get();
 }
 
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+SlidingWindowHistogram* MetricsRegistry::GetSlidingHistogram(
+    const std::string& name, std::vector<double> boundaries,
+    std::chrono::seconds window, const std::string& help,
+    const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family<SlidingWindowHistogram>& family = sliding_[name];
+  if (family.help.empty()) family.help = help;
+  auto& cell = family.cells[labels];
+  if (cell == nullptr) {
+    cell = std::make_unique<SlidingWindowHistogram>(std::move(boundaries),
+                                                    window);
+  }
+  return cell.get();
+}
+
 std::string MetricsRegistry::RenderPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -187,24 +259,20 @@ std::string MetricsRegistry::RenderPrometheusText() const {
     }
   }
   for (const auto& [name, family] : histograms_) {
-    if (!family.help.empty()) out += "# HELP " + name + " " + family.help + "\n";
-    out += "# TYPE " + name + " histogram\n";
+    std::vector<std::pair<std::string, Histogram::Snapshot>> snaps;
+    snaps.reserve(family.cells.size());
     for (const auto& [labels, cell] : family.cells) {
-      const Histogram::Snapshot snap = cell->Snap();
-      uint64_t cumulative = 0;
-      for (size_t i = 0; i < snap.counts.size(); ++i) {
-        cumulative += snap.counts[i];
-        const double edge = i < snap.boundaries.size()
-                                ? snap.boundaries[i]
-                                : std::numeric_limits<double>::infinity();
-        out += SampleLine(
-            name + "_bucket",
-            JoinLabels(labels, "le=\"" + FormatValue(edge) + "\""),
-            std::to_string(cumulative));
-      }
-      out += SampleLine(name + "_sum", labels, FormatValue(snap.sum));
-      out += SampleLine(name + "_count", labels, std::to_string(snap.count));
+      snaps.emplace_back(labels, cell->Snap());
     }
+    AppendHistogramFamily(name, family.help, snaps, &out);
+  }
+  for (const auto& [name, family] : sliding_) {
+    std::vector<std::pair<std::string, Histogram::Snapshot>> snaps;
+    snaps.reserve(family.cells.size());
+    for (const auto& [labels, cell] : family.cells) {
+      snaps.emplace_back(labels, cell->Snap());
+    }
+    AppendHistogramFamily(name, family.help, snaps, &out);
   }
   return out;
 }
@@ -218,6 +286,9 @@ void MetricsRegistry::ResetValues() {
     for (auto& [labels, cell] : family.cells) cell->Reset();
   }
   for (auto& [name, family] : histograms_) {
+    for (auto& [labels, cell] : family.cells) cell->Reset();
+  }
+  for (auto& [name, family] : sliding_) {
     for (auto& [labels, cell] : family.cells) cell->Reset();
   }
 }

@@ -16,6 +16,7 @@
 #define MSQ_OBS_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -113,9 +114,14 @@ std::vector<double> SizeBoundaries();
 /// braces, e.g. `reason="deadline"`. Resolution takes a mutex — resolve
 /// once and keep the pointer; observations on the returned instruments are
 /// lock-free.
+class SlidingWindowHistogram;  // obs/window.h
+
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  // Both out-of-line: SlidingWindowHistogram is incomplete here, and even
+  // the constructor needs the member destructors for unwinding.
+  MetricsRegistry();
+  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -129,10 +135,20 @@ class MetricsRegistry {
                           std::vector<double> boundaries,
                           const std::string& help = "",
                           const std::string& labels = "");
+  /// Sliding-window histogram (obs/window.h): same idempotent contract as
+  /// GetHistogram; `boundaries` and `window_seconds` only matter on first
+  /// creation. Rendered as a histogram family over the window's snapshot.
+  SlidingWindowHistogram* GetSlidingHistogram(const std::string& name,
+                                              std::vector<double> boundaries,
+                                              std::chrono::seconds window,
+                                              const std::string& help = "",
+                                              const std::string& labels = "");
 
   /// Prometheus text exposition format: one `# HELP` / `# TYPE` block per
   /// metric family, then one sample line per (labels) cell; histograms
-  /// render cumulative `_bucket{le=...}` series plus `_sum` / `_count`.
+  /// render cumulative `_bucket{le=...}` series plus `_sum` / `_count`,
+  /// followed by a `<name>_summary` gauge family with the
+  /// quantile="0.5"/"0.9"/"0.99"/"0.999" percentiles of each cell.
   std::string RenderPrometheusText() const;
 
   /// Zeroes every registered instrument (instruments stay registered and
@@ -159,6 +175,7 @@ class MetricsRegistry {
   std::map<std::string, Family<Counter>> counters_;
   std::map<std::string, Family<Gauge>> gauges_;
   std::map<std::string, Family<Histogram>> histograms_;
+  std::map<std::string, Family<SlidingWindowHistogram>> sliding_;
 };
 
 }  // namespace msq::obs

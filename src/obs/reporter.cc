@@ -1,0 +1,82 @@
+#include "obs/reporter.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace msq::obs {
+
+SnapshotReporter::SnapshotReporter(MetricsRegistry* registry,
+                                   SnapshotReporterOptions options,
+                                   ExtraFields extra)
+    : registry_(registry),
+      options_(std::move(options)),
+      extra_(std::move(extra)),
+      start_(std::chrono::steady_clock::now()) {}
+
+SnapshotReporter::~SnapshotReporter() { Stop(); }
+
+void SnapshotReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SnapshotReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void SnapshotReporter::TickNow() { Emit(); }
+
+uint64_t SnapshotReporter::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+void SnapshotReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+    lock.unlock();
+    Emit();
+    lock.lock();
+  }
+}
+
+void SnapshotReporter::Emit() {
+  // Render outside the lock (registry has its own), serialize the writes.
+  const std::string text = registry_->RenderPrometheusText();
+  const double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string extra = extra_ ? extra_() : std::string();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.prometheus_path.empty()) {
+    const std::string tmp = options_.prometheus_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << text;
+    }
+    std::rename(tmp.c_str(), options_.prometheus_path.c_str());
+  }
+  if (options_.json_stream != nullptr) {
+    std::string line = "{\"elapsed_s\": " + std::to_string(elapsed_s);
+    if (!extra.empty()) line += ", " + extra;
+    line += "}\n";
+    std::fputs(line.c_str(), options_.json_stream);
+    std::fflush(options_.json_stream);
+  }
+  ++ticks_;
+}
+
+}  // namespace msq::obs

@@ -1,0 +1,83 @@
+// Periodic observability snapshots for long-running load tests.
+//
+// A wall-clock-minutes harness run is useless if the only numbers come out
+// at the end: the interesting part is how p999 moves *while* a server is
+// crashed. SnapshotReporter ticks on its own thread every `interval`,
+// rendering the metrics registry to a Prometheus text file (atomic
+// replace, so a scraper never sees a half-written dump) and appending one
+// JSON line per tick to a stream — elapsed seconds plus whatever fields
+// the harness's callback contributes (instantaneous qps, windowed
+// percentiles, chaos state).
+
+#ifndef MSQ_OBS_REPORTER_H_
+#define MSQ_OBS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace msq::obs {
+
+struct SnapshotReporterOptions {
+  /// Time between snapshots.
+  std::chrono::milliseconds interval{1000};
+  /// When nonempty, every tick rewrites this file with the registry's
+  /// Prometheus text (write to `<path>.tmp`, then rename).
+  std::string prometheus_path;
+  /// When non-null, every tick appends one JSON object line here
+  /// (borrowed, not closed; flushed per line). May be stdout.
+  std::FILE* json_stream = nullptr;
+};
+
+class SnapshotReporter {
+ public:
+  /// `extra` (optional) returns additional JSON fields for each line,
+  /// without braces — e.g. `"qps": 412.3, "p99_ms": 8.1`. Called from the
+  /// reporter thread; the callback owns its synchronization.
+  using ExtraFields = std::function<std::string()>;
+
+  SnapshotReporter(MetricsRegistry* registry, SnapshotReporterOptions options,
+                   ExtraFields extra = nullptr);
+  ~SnapshotReporter();  // implies Stop()
+
+  SnapshotReporter(const SnapshotReporter&) = delete;
+  SnapshotReporter& operator=(const SnapshotReporter&) = delete;
+
+  /// Starts the periodic thread. Idempotent.
+  void Start();
+  /// Stops the periodic thread (no final tick — call TickNow() first if
+  /// the caller wants one). Idempotent.
+  void Stop();
+  /// One immediate snapshot from the calling thread (e.g. the harness's
+  /// final report after drain). Safe alongside the periodic thread.
+  void TickNow();
+
+  /// Number of snapshots emitted so far.
+  uint64_t ticks() const;
+
+ private:
+  void Loop();
+  void Emit();
+
+  MetricsRegistry* registry_;
+  SnapshotReporterOptions options_;
+  ExtraFields extra_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;  // guards stop_, ticks_, and file writes
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  uint64_t ticks_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace msq::obs
+
+#endif  // MSQ_OBS_REPORTER_H_

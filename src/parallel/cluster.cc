@@ -106,13 +106,38 @@ StatusOr<std::unique_ptr<SharedNothingCluster>> SharedNothingCluster::Create(
   // takes down the whole server (all partitions stored there) at once.
   cluster->replicas_.resize(cluster->partitions_.size());
   for (size_t p = 0; p < cluster->partitions_.size(); ++p) {
-    for (size_t host : cluster->placement_[p]) {
-      DatabaseOptions server_options = options.server_options;
+    for (size_t j = 0; j < cluster->placement_[p].size(); ++j) {
+      const size_t host = cluster->placement_[p][j];
+      std::shared_ptr<robust::FaultInjector> injector;
       if (host < options.server_faults.size()) {
-        server_options.fault_injector = options.server_faults[host];
+        injector = options.server_faults[host];
       }
-      auto db = MetricDatabase::Open(dataset.Subset(cluster->partitions_[p]),
-                                     metric, server_options);
+      StatusOr<std::unique_ptr<MetricDatabase>> db =
+          Status::Internal("replica not built");
+      if (options.store_dir.empty()) {
+        DatabaseOptions server_options = options.server_options;
+        server_options.fault_injector = std::move(injector);
+        db = MetricDatabase::Open(dataset.Subset(cluster->partitions_[p]),
+                                  metric, server_options);
+      } else {
+        // Store-backed replica: build fault-free, persist, reopen from the
+        // file with the injector attached — page misses become real preads
+        // and injected faults hit a real I/O path.
+        DatabaseOptions build_options = options.server_options;
+        build_options.fault_injector = nullptr;
+        auto built = MetricDatabase::Open(
+            dataset.Subset(cluster->partitions_[p]), metric, build_options);
+        if (!built.ok()) return built.status();
+        const std::string path = options.store_dir + "/part" +
+                                 std::to_string(p) + "_rep" +
+                                 std::to_string(j) + ".msq";
+        if (Status saved = built.value()->Save(path); !saved.ok()) {
+          return saved;
+        }
+        DatabaseOptions runtime = options.server_options;
+        runtime.fault_injector = std::move(injector);
+        db = MetricDatabase::Open(path, runtime, metric);
+      }
       if (!db.ok()) return db.status();
       cluster->replicas_[p].push_back(
           Replica{std::move(db).value(), std::make_unique<std::mutex>()});
@@ -277,14 +302,36 @@ Status SharedNothingCluster::QuorumStatus() const {
 
 StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteReplica(
     size_t partition, size_t replica_idx, const std::vector<Query>& queries,
-    int* attempts) {
+    int* attempts, QueryStats* stats_out) {
   Replica& rep = replicas_[partition][replica_idx];
   // The engines are single-threaded; concurrent batches line up per
   // replica (different replicas — even of the same partition — proceed in
-  // parallel).
+  // parallel). The wait is attributed as lock_wait.
+  WallTimer lock_timer;
   std::lock_guard<std::mutex> lock(*rep.mu);
-  ++*attempts;
-  auto got = rep.db->MultipleSimilarityQueryAll(queries);
+  QueryStats local;
+  local.attr_lock_wait_micros += lock_timer.ElapsedMicros();
+  const QueryStats before_call = rep.db->stats();
+
+  // One execution attempt. A failed attempt bills nothing to the database
+  // stats beyond its completed windows ("failed call bills nothing"), so
+  // the *unattributed tail* of a failed attempt — its wall time minus what
+  // its completed windows already charged — is attributed to retry: time
+  // lost to faults, not useful work.
+  auto attempt_once = [&]() {
+    const QueryStats before = rep.db->stats();
+    WallTimer timer;
+    ++*attempts;
+    auto got = rep.db->MultipleSimilarityQueryAll(queries);
+    if (!got.ok()) {
+      const QueryStats billed = rep.db->stats() - before;
+      local.attr_retry_micros +=
+          std::max(0.0, timer.ElapsedMicros() - billed.attr_window_micros);
+    }
+    return got;
+  };
+
+  auto got = attempt_once();
   // Retry only transient failures (IOError: a flaky page read). A crashed
   // server fails deterministically (kUnavailable) — retrying it could only
   // waste the budget, so the failover layer routes around it instead;
@@ -296,11 +343,16 @@ StatusOr<std::vector<AnswerSet>> SharedNothingCluster::ExecuteReplica(
     retries_attempted_.fetch_add(1, std::memory_order_relaxed);
     if (retries_total_ != nullptr) retries_total_->Increment();
     if (backoff.count() > 0) {
+      WallTimer backoff_timer;
       std::this_thread::sleep_for(backoff);
+      local.attr_retry_micros += backoff_timer.ElapsedMicros();
       backoff *= 2;
     }
-    ++*attempts;
-    got = rep.db->MultipleSimilarityQueryAll(queries);
+    got = attempt_once();
+  }
+  if (stats_out != nullptr) {
+    local += rep.db->stats() - before_call;
+    *stats_out += local;
   }
   return got;
 }
@@ -336,6 +388,7 @@ void SharedNothingCluster::RunPartitions(const std::vector<Query>& queries,
     size_t server;
     int attempts = 0;
     double wall_micros = 0.0;
+    QueryStats stats{};  // attempt-local; merged post-barrier
     StatusOr<std::vector<AnswerSet>> result =
         Status::Internal("attempt not executed");
   };
@@ -352,7 +405,8 @@ void SharedNothingCluster::RunPartitions(const std::vector<Query>& queries,
         const size_t j = next_try[p];
         const size_t server = placement_[p][j];
         if (AdmitServer(server)) {
-          round.push_back(Attempt{p, j, server});
+          round.push_back(Attempt{.partition = p, .replica_idx = j,
+                                  .server = server});
           scheduled = true;
           break;
         }
@@ -379,7 +433,7 @@ void SharedNothingCluster::RunPartitions(const std::vector<Query>& queries,
       server_span.AddArg("replica", static_cast<double>(a.replica_idx));
       WallTimer timer;
       a.result = ExecuteReplica(a.partition, a.replica_idx, queries,
-                                &a.attempts);
+                                &a.attempts, &a.stats);
       a.wall_micros = timer.ElapsedMicros();
     };
     if (pool_ != nullptr) {
@@ -397,6 +451,7 @@ void SharedNothingCluster::RunPartitions(const std::vector<Query>& queries,
     // trips, counters and statuses are deterministic.
     for (Attempt& a : round) {
       out->server_attempts[a.server] += a.attempts;
+      out->stats += a.stats;
       if (a.replica_idx > 0) {
         ++out->replica_reissues;
         if (reissues_total_ != nullptr) reissues_total_->Increment();
@@ -495,12 +550,41 @@ StatusOr<ClusterBatchResult> SharedNothingCluster::ExecuteMultipleAllPartial(
   for (size_t p = 0; p < partitions_.size(); ++p) {
     if (!out.partition_status[p].ok()) result.missing_servers.push_back(p);
   }
+  WallTimer merge_timer;
   result.answers =
       MergePartitions(queries, out.partition_answers, out.partition_status);
+  out.stats.attr_merge_micros += merge_timer.ElapsedMicros();
   result.server_status = std::move(out.server_status);
   result.server_attempts = std::move(out.server_attempts);
   result.failovers = out.failovers;
   result.replica_reissues = out.replica_reissues;
+  result.stats = out.stats;
+  return result;
+}
+
+StatusOr<BatchResult> SharedNothingCluster::ExecuteBatch(
+    const std::vector<Query>& queries, QueryStats* stats) {
+  auto got = ExecuteMultipleAllPartial(queries);
+  if (!got.ok()) return got.status();
+  BatchResult result;
+  result.answers = std::move(got.value().answers);
+  if (got.value().missing_servers.empty()) {
+    result.statuses.assign(queries.size(), Status::OK());
+  } else {
+    // Quorum loss: the merged answers are incomplete for *every* query (a
+    // missing partition may hold true nearest neighbors of any of them),
+    // so every query fails with the same explicit status.
+    std::string lost;
+    for (size_t p : got.value().missing_servers) {
+      if (!lost.empty()) lost += ", ";
+      lost += std::to_string(p);
+    }
+    result.statuses.assign(
+        queries.size(),
+        Status::Unavailable("partition(s) " + lost +
+                            " lost (all replicas down); answers incomplete"));
+  }
+  if (stats != nullptr) *stats += got.value().stats;
   return result;
 }
 

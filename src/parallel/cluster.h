@@ -113,6 +113,13 @@ struct ClusterOptions {
   /// Shorter than num_servers leaves the remaining servers fault-free;
   /// empty (the default) injects nothing anywhere.
   std::vector<std::shared_ptr<robust::FaultInjector>> server_faults;
+  /// When nonempty, each replica database is built fault-free, persisted
+  /// to `<store_dir>/part<p>_rep<j>.msq` (storage/page_file), and reopened
+  /// from the file with the host's fault injector attached — so replica
+  /// page misses are *real* positioned reads against the single-file
+  /// store, and injected faults/latency spikes hit real preads. The
+  /// directory must already exist. The load harness's mode.
+  std::string store_dir;
 };
 
 /// Outcome of a degraded (fault-tolerant) cluster batch execution.
@@ -145,6 +152,11 @@ struct ClusterBatchResult {
   /// (after a failure, or because the preferred server's breaker was
   /// open).
   uint64_t replica_reissues = 0;
+  /// Combined QueryStats delta of every execution attempt of this call:
+  /// the engine's cost counters plus the attr_* wall-time attribution
+  /// (replica lock waits, failed attempts' tails, backoff sleeps, and the
+  /// coordinator-side merge).
+  QueryStats stats;
 };
 
 /// A simulated shared-nothing cluster of MetricDatabases.
@@ -184,6 +196,19 @@ class SharedNothingCluster {
   /// counts explicitly.
   StatusOr<ClusterBatchResult> ExecuteMultipleAllPartial(
       const std::vector<Query>& queries);
+
+  /// Adapts the cluster to the BatchScheduler's BatchExecutor signature:
+  /// executes the batch with retry + failover, merges the survivors, and
+  /// reports per-query statuses — all OK when the answers are complete,
+  /// all kUnavailable naming the lost partitions under quorum loss (kNN
+  /// answers would silently miss true neighbors otherwise). The call's
+  /// QueryStats, including its attr_* latency attribution, is merged into
+  /// `stats` when non-null. Create the cluster with use_threads = false
+  /// when the attributed wall times must sum to the call's elapsed time
+  /// (parallel per-partition execution double-counts wall time; the
+  /// harness's attribution check needs sequential execution).
+  StatusOr<BatchResult> ExecuteBatch(const std::vector<Query>& queries,
+                                     QueryStats* stats);
 
   /// Transient-failure retries attempted so far (all servers, all calls).
   uint64_t retries_attempted() const {
@@ -262,6 +287,7 @@ class SharedNothingCluster {
     std::vector<int> server_attempts;
     uint64_t failovers = 0;
     uint64_t replica_reissues = 0;
+    QueryStats stats;
   };
 
   /// Runs the batch over all partitions with retry + failover applied and
@@ -269,10 +295,14 @@ class SharedNothingCluster {
   void RunPartitions(const std::vector<Query>& queries, CallOutcome* out);
 
   /// Executes the batch on one replica with the transient-retry policy.
-  /// `attempts` is incremented once per execution attempt.
+  /// `attempts` is incremented once per execution attempt. `stats_out`
+  /// (attempt-local, no concurrent writers) receives the replica's
+  /// QueryStats delta across all attempts plus the lock-wait and
+  /// retry-time attribution of this call.
   StatusOr<std::vector<AnswerSet>> ExecuteReplica(
       size_t partition, size_t replica_idx,
-      const std::vector<Query>& queries, int* attempts);
+      const std::vector<Query>& queries, int* attempts,
+      QueryStats* stats_out);
 
   /// Breaker gate: may `server` receive work right now? Transitions
   /// open -> half-open when the cooldown elapsed and reserves the single

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -36,9 +37,14 @@ BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
       pool_(pool),
       options_(options),
       stats_sink_(stats_sink) {
-  // A flushed batch must be admissible by the engine in one call.
-  options_.max_batch_size = std::clamp<size_t>(
-      options_.max_batch_size, 1, engine_->options().max_batch_size);
+  // A flushed batch must be admissible by the engine in one call. With a
+  // custom executor there may be no engine; the executor bounds itself.
+  if (engine_ != nullptr) {
+    options_.max_batch_size = std::clamp<size_t>(
+        options_.max_batch_size, 1, engine_->options().max_batch_size);
+  } else {
+    options_.max_batch_size = std::max<size_t>(options_.max_batch_size, 1);
+  }
   if (options_.metrics != nullptr) {
     tracer_ = options_.metrics->tracer();
     if (obs::MetricsRegistry* reg = options_.metrics->registry()) {
@@ -76,6 +82,24 @@ BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
       batch_size_ =
           reg->GetHistogram("msq_scheduler_batch_size", obs::SizeBoundaries(),
                             "Distinct queries per flushed batch");
+      for (size_t c = 0; c < obs::kNumLatencyComponents; ++c) {
+        component_seconds_[c] = reg->GetHistogram(
+            "msq_latency_component_seconds", obs::LatencySecondsBoundaries(),
+            "Per-query end-to-end latency share of one serving stage",
+            std::string("component=\"") +
+                obs::LatencyComponentName(
+                    static_cast<obs::LatencyComponent>(c)) +
+                "\"");
+      }
+      if (options_.latency_window_seconds > 0) {
+        latency_window_ = reg->GetSlidingHistogram(
+            "msq_scheduler_latency_window_micros",
+            obs::LatencyBoundariesMicros(),
+            std::chrono::seconds(std::max<int64_t>(
+                1,
+                static_cast<int64_t>(options_.latency_window_seconds + 0.5))),
+            "Per-query end-to-end latency over the sliding window");
+      }
     }
   }
   deadline_thread_ = std::thread([this] { DeadlineLoop(); });
@@ -102,6 +126,13 @@ AnswerFuture BatchScheduler::Submit(Query query) {
     ++queries_rejected_;
     if (rejected_total_ != nullptr) rejected_total_->Increment();
     promise.set_value(Status::InvalidArgument("query point is empty"));
+    return future;
+  }
+  if (engine_ == nullptr && !options_.executor) {
+    ++queries_rejected_;
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
+    promise.set_value(Status::InvalidArgument(
+        "BatchScheduler has neither an engine nor an executor"));
     return future;
   }
   auto it = pending_index_.find(query.id);
@@ -222,30 +253,44 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
   inflight_queries_ += batch->size();
   if (queue_depth_ != nullptr) queue_depth_->Sub(batch->size());
   if (inflight_gauge_ != nullptr) inflight_gauge_->Add(1);
-  pool_->Submit([this, batch] {
+  pool_->Submit([this, batch, flush_time] {
+    const auto task_start = std::chrono::steady_clock::now();
     std::vector<Query> queries;
     queries.reserve(batch->size());
     for (const Pending& entry : *batch) queries.push_back(entry.query);
 
-    // The engine is single-threaded; batches racing for it line up here.
     // Stats go to a private QueryStats first and into the shared sink in
     // one merge, so concurrent batches never write the same counter.
     QueryStats batch_stats;
-    auto result = [&] {
+    auto result = [&]() -> StatusOr<BatchResult> {
+      if (options_.executor) {
+        // A custom executor (e.g. a replicated cluster) serializes itself.
+        obs::ScopedSpan batch_span(tracer_, "scheduler.batch", "scheduler");
+        batch_span.AddArg("m", static_cast<double>(batch->size()));
+        return options_.executor(queries, &batch_stats);
+      }
+      // The engine is single-threaded; batches racing for it line up here,
+      // and the wait is charged as the lock_wait latency component.
+      WallTimer lock_timer;
       std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      batch_stats.attr_lock_wait_micros += lock_timer.ElapsedMicros();
       obs::ScopedSpan batch_span(tracer_, "scheduler.batch", "scheduler");
       batch_span.AddArg("m", static_cast<double>(batch->size()));
       return engine_->ExecuteAllPartial(queries, &batch_stats);
     }();
     if (stats_sink_ != nullptr) stats_sink_->Add(batch_stats);
 
+    // End-to-end latency is measured to execution completion (not to
+    // promise fulfilment below: waiter wake-up is the client's time).
+    const auto done_time = std::chrono::steady_clock::now();
+    RecordAttribution(*batch, batch_stats, flush_time, task_start, done_time);
+
     {
       obs::ScopedSpan fulfil_span(tracer_, "scheduler.fulfil", "scheduler");
-      const auto fulfil_time = std::chrono::steady_clock::now();
       for (size_t i = 0; i < batch->size(); ++i) {
         if (latency_micros_ != nullptr) {
           latency_micros_->Observe(
-              MicrosSince((*batch)[i].submit_time, fulfil_time));
+              MicrosSince((*batch)[i].submit_time, done_time));
         }
         for (std::promise<StatusOr<AnswerSet>>& p : (*batch)[i].promises) {
           if (!result.ok()) {
@@ -271,6 +316,63 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
     ++batches_executed_;
     done_cv_.notify_all();
   });
+}
+
+void BatchScheduler::RecordAttribution(
+    const std::vector<Pending>& batch, const QueryStats& batch_stats,
+    std::chrono::steady_clock::time_point flush_time,
+    std::chrono::steady_clock::time_point task_start,
+    std::chrono::steady_clock::time_point done_time) {
+  const bool export_components = component_seconds_[0] != nullptr;
+  if (!export_components && latency_window_ == nullptr &&
+      !options_.attribution_hook) {
+    return;
+  }
+  using LC = obs::LatencyComponent;
+  obs::BatchAttribution attrib;
+  attrib.batch_size = batch.size();
+  for (const Pending& entry : batch) {
+    attrib.component(LC::kQueueWait) +=
+        MicrosSince(entry.submit_time, flush_time);
+    attrib.e2e_micros += MicrosSince(entry.submit_time, done_time);
+  }
+  attrib.component(LC::kDispatch) = MicrosSince(flush_time, task_start);
+  attrib.component(LC::kLockWait) = batch_stats.attr_lock_wait_micros;
+  attrib.component(LC::kMatrixBuild) = batch_stats.attr_matrix_micros;
+  attrib.component(LC::kPageIo) = batch_stats.attr_page_io_micros;
+  attrib.component(LC::kKernel) = batch_stats.attr_kernel_micros;
+  // The one residual component: engine window time not covered by the
+  // independently-measured stages (candidate filtering, heap maintenance,
+  // buffer bookkeeping). Clamped — timer nesting can make the parts
+  // fractionally exceed the whole.
+  attrib.component(LC::kEngineOther) =
+      std::max(0.0, batch_stats.attr_window_micros -
+                        batch_stats.attr_matrix_micros -
+                        batch_stats.attr_page_io_micros -
+                        batch_stats.attr_kernel_micros);
+  attrib.component(LC::kRetry) = batch_stats.attr_retry_micros;
+  attrib.component(LC::kMerge) = batch_stats.attr_merge_micros;
+
+  if (export_components) {
+    // Every query of the batch experienced the batch-level stages in full;
+    // queue wait is per-query.
+    for (const Pending& entry : batch) {
+      component_seconds_[static_cast<size_t>(LC::kQueueWait)]->Observe(
+          MicrosSince(entry.submit_time, flush_time) * 1e-6);
+    }
+    for (size_t c = 1; c < obs::kNumLatencyComponents; ++c) {
+      const double seconds = attrib.component_micros[c] * 1e-6;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        component_seconds_[c]->Observe(seconds);
+      }
+    }
+  }
+  if (latency_window_ != nullptr) {
+    for (const Pending& entry : batch) {
+      latency_window_->Observe(MicrosSince(entry.submit_time, done_time));
+    }
+  }
+  if (options_.attribution_hook) options_.attribution_hook(attrib);
 }
 
 void BatchScheduler::Flush() {

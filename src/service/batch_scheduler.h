@@ -44,10 +44,24 @@
 #include "common/status.h"
 #include "core/multi_query.h"
 #include "core/query.h"
+#include "obs/attribution.h"
 #include "obs/sink.h"
+#include "obs/window.h"
 #include "parallel/thread_pool.h"
 
 namespace msq {
+
+/// Executes one flushed batch and reports per-query outcomes. The default
+/// executor (a null BatchSchedulerOptions::executor) runs the scheduler's
+/// MultiQueryEngine serialized on an internal mutex; installing a custom
+/// one lets the same admission front-end drive any batch backend — notably
+/// SharedNothingCluster::ExecuteBatch for replicated serving. Called from
+/// pool threads, possibly concurrently: a custom executor owns its own
+/// serialization. The QueryStats* is the batch's private stats (never
+/// shared between concurrent batches); executors that measure latency
+/// attribution charge its attr_* fields.
+using BatchExecutor = std::function<StatusOr<BatchResult>(
+    const std::vector<Query>&, QueryStats*)>;
 
 struct BatchSchedulerOptions {
   /// Flush when this many distinct queries are pending. Clamped to the
@@ -71,9 +85,24 @@ struct BatchSchedulerOptions {
   /// cheap and never let it call back into the scheduler. Null disables
   /// the gate.
   std::function<Status()> admission_check;
+  /// Custom batch executor (see BatchExecutor above). Null: execute on the
+  /// scheduler's engine. When set, the engine may be null and
+  /// max_batch_size is not clamped (the executor enforces its own limits).
+  BatchExecutor executor;
+  /// When > 0, per-query end-to-end latency is additionally fed into the
+  /// sliding-window histogram `msq_scheduler_latency_window_micros` with
+  /// this horizon, so p50/p99/p999 *over the last N seconds* are
+  /// exportable alongside the cumulative msq_scheduler_latency_micros.
+  double latency_window_seconds = 0.0;
+  /// Called once per executed batch (from the executing pool thread) with
+  /// the batch's latency attribution — the load harness's hook for
+  /// checking that attributed component times sum to measured end-to-end
+  /// latency. The callback owns its synchronization.
+  std::function<void(const obs::BatchAttribution&)> attribution_hook;
   /// Observability sink for the `msq_scheduler_*` instruments (queue depth,
-  /// admission wait, end-to-end latency, flush reasons) and batch spans.
-  /// nullptr disables scheduler instrumentation.
+  /// admission wait, end-to-end latency, flush reasons), the
+  /// `msq_latency_component_seconds{component=...}` attribution histograms,
+  /// and batch spans. nullptr disables scheduler instrumentation.
   const obs::MetricsSink* metrics = obs::MetricsSink::Default();
 };
 
@@ -108,6 +137,8 @@ using AnswerFuture = std::future<StatusOr<AnswerSet>>;
 /// optional AggregateStats sink without data races.
 class BatchScheduler {
  public:
+  /// `engine` may be null iff options.executor is set (replicated serving
+  /// runs batches through the executor, not a local engine).
   BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
                  const BatchSchedulerOptions& options,
                  AggregateStats* stats_sink = nullptr);
@@ -165,6 +196,15 @@ class BatchScheduler {
   /// Requires mu_ held. Moves the pending batch to the pool.
   void FlushLocked(FlushReason reason);
   void DeadlineLoop();
+  /// Builds the executed batch's BatchAttribution from the stage
+  /// timestamps plus the attr_* fields the executor charged, exports it to
+  /// the component histograms / sliding window, and invokes the hook.
+  /// Called from the executing pool thread.
+  void RecordAttribution(const std::vector<Pending>& batch,
+                         const QueryStats& batch_stats,
+                         std::chrono::steady_clock::time_point flush_time,
+                         std::chrono::steady_clock::time_point task_start,
+                         std::chrono::steady_clock::time_point done_time);
 
   MultiQueryEngine* engine_;
   ThreadPool* pool_;
@@ -203,6 +243,11 @@ class BatchScheduler {
   obs::Histogram* admission_wait_micros_ = nullptr;
   obs::Histogram* latency_micros_ = nullptr;
   obs::Histogram* batch_size_ = nullptr;
+  /// msq_latency_component_seconds{component=...}, indexed by
+  /// obs::LatencyComponent; all null when metrics is null.
+  obs::Histogram* component_seconds_[obs::kNumLatencyComponents] = {};
+  /// Sliding-window e2e latency (null unless latency_window_seconds > 0).
+  obs::SlidingWindowHistogram* latency_window_ = nullptr;
 
   /// Wakes the deadline thread (new batch opened / shutdown).
   std::condition_variable deadline_cv_;

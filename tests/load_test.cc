@@ -1,0 +1,212 @@
+// Tests of the open-loop load layer: statistical sanity of the seeded
+// workload models (Poisson gaps, Zipf skew, tenant mix) and a short
+// end-to-end generator run against a real scheduler — every submitted
+// query must be accounted for exactly once across ok/shed/rejected/failed
+// and every OK completion must contribute a latency sample.
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "load/generator.h"
+#include "load/workload.h"
+#include "parallel/thread_pool.h"
+#include "service/batch_scheduler.h"
+
+namespace msq {
+namespace {
+
+// ---------------------------------------------------------------------
+// Workload models
+// ---------------------------------------------------------------------
+
+TEST(LoadWorkloadTest, PoissonGapsHaveTheConfiguredMean) {
+  load::PoissonArrivals arrivals(1000.0, 7);  // mean gap 1 ms
+  constexpr int kSamples = 20000;
+  double total_nanos = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto gap = arrivals.NextGap();
+    ASSERT_GE(gap.count(), 0);
+    total_nanos += static_cast<double>(gap.count());
+  }
+  const double mean_micros = total_nanos / kSamples / 1e3;
+  // Exponential with mean 1000 us; 20k samples put the sample mean well
+  // within 5%.
+  EXPECT_NEAR(mean_micros, 1000.0, 50.0);
+}
+
+TEST(LoadWorkloadTest, ZeroRateProducesZeroGaps) {
+  load::PoissonArrivals arrivals(0.0, 7);
+  EXPECT_EQ(arrivals.NextGap().count(), 0);
+}
+
+TEST(LoadWorkloadTest, ZipfIsSkewedAndCoversTheIdSpace) {
+  constexpr size_t kN = 1000;
+  load::ZipfSampler zipf(kN, 1.0, 11);
+  Rng rng(13);
+  std::vector<uint64_t> counts(kN, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t id = zipf.Sample(rng);
+    ASSERT_LT(id, kN);
+    ++counts[id];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  // Zipf(1.0) over 1000 ranks: the top rank holds ~1/H(1000) ~ 13% of the
+  // mass and the top 10 ranks ~39%. Loose bounds to stay seed-robust.
+  EXPECT_GT(counts[0], kSamples / 20);  // >= 5%
+  const uint64_t top10 =
+      std::accumulate(counts.begin(), counts.begin() + 10, uint64_t{0});
+  EXPECT_GT(top10, kSamples / 4);
+  // The shuffle must spread ranks over ids, not leave id 0 the hottest:
+  // sampling must still be a permutation of [0, n).
+  load::ZipfSampler uniform(kN, 0.0, 11);
+  std::vector<bool> seen(kN, false);
+  Rng rng2(17);
+  for (int i = 0; i < kSamples; ++i) seen[uniform.Sample(rng2)] = true;
+  EXPECT_GT(std::count(seen.begin(), seen.end(), true),
+            static_cast<long>(kN * 9 / 10));
+}
+
+TEST(LoadWorkloadTest, TenantMixFollowsWeights) {
+  load::TenantMix mix({{"a", 3.0, 10, 0.9}, {"b", 1.0, 20, 0.9}});
+  ASSERT_EQ(mix.size(), 2u);
+  Rng rng(19);
+  int a = 0;
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (mix.PickIndex(rng) == 0) ++a;
+  }
+  EXPECT_NEAR(static_cast<double>(a) / kSamples, 0.75, 0.02);
+}
+
+TEST(LoadWorkloadTest, EmptyAndZeroWeightMixesAreSafe) {
+  load::TenantMix empty({});
+  EXPECT_EQ(empty.size(), 1u);  // one default tenant
+  load::TenantMix zeros({{"a", 0.0, 10, 0.9}, {"b", 0.0, 20, 0.9}});
+  Rng rng(23);
+  int b = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zeros.PickIndex(rng) == 1) ++b;
+  }
+  // All-zero weights degrade to a uniform mix, not "always the last".
+  EXPECT_NEAR(static_cast<double>(b) / 10000.0, 0.5, 0.05);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end generator run
+// ---------------------------------------------------------------------
+
+TEST(LoadGeneratorTest, ShortRunAccountsForEverySubmission) {
+  Dataset dataset = MakeUniformDataset(400, 4, 1201);
+  DatabaseOptions dbopts;
+  dbopts.backend = BackendKind::kLinearScan;
+  auto db = MetricDatabase::Open(dataset, std::make_shared<EuclideanMetric>(),
+                                 dbopts);
+  ASSERT_TRUE(db.ok());
+  ThreadPool pool(2);
+  BatchSchedulerOptions sopts;
+  sopts.max_batch_size = 16;
+  sopts.flush_deadline = std::chrono::milliseconds(1);
+  sopts.metrics = nullptr;
+  BatchScheduler scheduler(&(*db)->engine(), &pool, sopts);
+
+  load::LoadOptions lopts;
+  lopts.target_qps = 500.0;
+  lopts.duration = std::chrono::milliseconds(600);
+  lopts.num_producers = 2;
+  lopts.num_waiters = 2;
+  lopts.seed = 5;
+  lopts.num_objects = dataset.size();
+  lopts.tenants = {{"fast", 0.6, 3, 0.9}, {"deep", 0.4, 8, 0.5}};
+
+  load::LoadGenerator generator(
+      &scheduler, lopts,
+      [&dataset](const load::TenantSpec& tenant, uint64_t object_id) {
+        Query q;
+        q.point = dataset.object(
+            static_cast<ObjectId>(object_id % dataset.size()));
+        q.type = QueryType::Knn(tenant.k);
+        return q;
+      });
+  load::LoadResult result = generator.Run();
+  scheduler.Drain();
+
+  EXPECT_GT(result.submitted, 0u);
+  EXPECT_EQ(result.submitted,
+            result.ok + result.shed + result.rejected + result.failed);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.latencies_micros.size(), result.ok);
+  EXPECT_TRUE(std::is_sorted(result.latencies_micros.begin(),
+                             result.latencies_micros.end()));
+  EXPECT_GT(result.wall_seconds, 0.0);
+  // Per-tenant counts fold back to the totals and both tenants got traffic.
+  ASSERT_EQ(result.tenants.size(), 2u);
+  uint64_t tenant_submitted = 0;
+  for (const auto& t : result.tenants) tenant_submitted += t.submitted;
+  EXPECT_EQ(tenant_submitted, result.submitted);
+  EXPECT_GT(result.tenants[0].submitted, result.tenants[1].submitted);
+  EXPECT_GT(result.tenants[1].submitted, 0u);
+  // Percentiles are monotone on the sorted latency vector.
+  EXPECT_LE(result.LatencyPercentileMicros(50),
+            result.LatencyPercentileMicros(99));
+  EXPECT_LE(result.LatencyPercentileMicros(99),
+            result.LatencyPercentileMicros(99.9));
+}
+
+// Two generator runs with the same seed submit the same number of queries
+// per tenant (the schedule is deterministic; only timing varies).
+TEST(LoadGeneratorTest, SameSeedSameSubmissionCounts) {
+  Dataset dataset = MakeUniformDataset(200, 4, 1301);
+  DatabaseOptions dbopts;
+  dbopts.backend = BackendKind::kLinearScan;
+  auto db = MetricDatabase::Open(dataset, std::make_shared<EuclideanMetric>(),
+                                 dbopts);
+  ASSERT_TRUE(db.ok());
+  ThreadPool pool(2);
+
+  auto run_once = [&] {
+    BatchSchedulerOptions sopts;
+    sopts.max_batch_size = 16;
+    sopts.flush_deadline = std::chrono::milliseconds(1);
+    sopts.metrics = nullptr;
+    BatchScheduler scheduler(&(*db)->engine(), &pool, sopts);
+    load::LoadOptions lopts;
+    lopts.target_qps = 300.0;
+    lopts.duration = std::chrono::milliseconds(400);
+    lopts.num_producers = 1;  // one producer: the schedule is a pure
+    lopts.num_waiters = 1;    // function of the seed
+    lopts.seed = 9;
+    lopts.num_objects = dataset.size();
+    load::LoadGenerator generator(
+        &scheduler, lopts,
+        [&dataset](const load::TenantSpec& tenant, uint64_t object_id) {
+          Query q;
+          q.point = dataset.object(
+              static_cast<ObjectId>(object_id % dataset.size()));
+          q.type = QueryType::Knn(tenant.k);
+          return q;
+        });
+    load::LoadResult r = generator.Run();
+    scheduler.Drain();
+    return r;
+  };
+  const load::LoadResult a = run_once();
+  const load::LoadResult b = run_once();
+  // The arrival schedule is absolute (start + cumulative gaps), so the
+  // submitted count can differ by at most the arrivals that straddle the
+  // end-of-run cutoff under scheduling noise; with a fixed seed the gap
+  // sequence is identical, making the counts equal.
+  EXPECT_EQ(a.submitted, b.submitted);
+}
+
+}  // namespace
+}  // namespace msq

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -686,6 +687,123 @@ TEST(BatchSchedulerTest, DestructorDrainsOutstandingWork) {
   for (auto& f : futures) {
     EXPECT_TRUE(f.get().ok());
   }
+}
+
+// ---------------------------------------------------------------------
+// Custom batch executors + latency attribution
+// ---------------------------------------------------------------------
+
+TEST(BatchSchedulerTest, CustomExecutorRunsWithoutAnEngine) {
+  Dataset dataset = MakeUniformDataset(300, 4, 951);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  std::atomic<int> executor_calls{0};
+  BatchSchedulerOptions options;
+  options.max_batch_size = 8;
+  options.flush_deadline = std::chrono::seconds(10);
+  // Executors run on pool threads and must provide their own
+  // synchronization — the db is not thread-safe (the engine path gets this
+  // from the scheduler's engine lock, a cluster from its own locking).
+  std::mutex db_mu;
+  options.executor = [&](const std::vector<Query>& queries,
+                         QueryStats* stats) -> StatusOr<BatchResult> {
+    executor_calls.fetch_add(1);
+    std::lock_guard<std::mutex> lock(db_mu);
+    auto answers = db->MultipleSimilarityQueryAll(queries);
+    if (!answers.ok()) return answers.status();
+    *stats += db->stats();
+    BatchResult result;
+    result.answers = std::move(answers).value();
+    result.statuses.assign(queries.size(), Status::OK());
+    return result;
+  };
+  BatchScheduler scheduler(nullptr, &pool, options);
+
+  const auto queries = MixedQueryStream(dataset, 10, 953);
+  std::vector<AnswerFuture> futures;
+  for (const Query& q : queries) futures.push_back(scheduler.Submit(q));
+  scheduler.Drain();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    auto expected = db->SimilarityQuery(queries[i]);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(SameAnswers(*got, *expected));
+  }
+  EXPECT_GT(executor_calls.load(), 0);
+}
+
+TEST(BatchSchedulerTest, NoEngineAndNoExecutorRejectsSubmissions) {
+  ThreadPool pool(1);
+  BatchSchedulerOptions options;
+  BatchScheduler scheduler(nullptr, &pool, options);
+  Query q{1, {0.1, 0.2}, QueryType::Knn(1)};
+  auto f = scheduler.Submit(q);
+  auto got = f.get();
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsInvalidArgument());
+}
+
+TEST(BatchSchedulerTest, AttributionComponentsCoverEndToEndLatency) {
+  Dataset dataset = MakeUniformDataset(500, 4, 957);
+  auto db = OpenScanDb(dataset);
+  ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  obs::MetricsSink sink(&registry, nullptr);
+  BatchSchedulerOptions options;
+  options.max_batch_size = 8;
+  options.flush_deadline = std::chrono::milliseconds(1);
+  options.metrics = &sink;
+  options.latency_window_seconds = 30.0;
+  double e2e_micros = 0.0;
+  double attributed_micros = 0.0;
+  uint64_t hook_batches = 0;
+  std::mutex mu;
+  options.attribution_hook = [&](const obs::BatchAttribution& attr) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++hook_batches;
+    e2e_micros += attr.e2e_micros;
+    attributed_micros += attr.AttributedMicros();
+  };
+  BatchScheduler scheduler(&db->engine(), &pool, options);
+
+  const auto queries = MixedQueryStream(dataset, 64, 959);
+  std::vector<AnswerFuture> futures;
+  for (const Query& q : queries) futures.push_back(scheduler.Submit(q));
+  scheduler.Drain();
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_GT(hook_batches, 0u);
+  // Every component histogram cell observed once per query per batch.
+  for (size_t c = 0; c < obs::kNumLatencyComponents; ++c) {
+    const char* name =
+        obs::LatencyComponentName(static_cast<obs::LatencyComponent>(c));
+    EXPECT_EQ(registry
+                  .GetHistogram("msq_latency_component_seconds",
+                                obs::LatencySecondsBoundaries(), "",
+                                std::string("component=\"") + name + "\"")
+                  ->Count(),
+              queries.size())
+        << name;
+  }
+  // The attributed components must essentially cover measured end-to-end
+  // latency: nothing big unaccounted, nothing double-counted. Engine-other
+  // is the only residual (clamped >= 0), so attributed <= e2e always holds
+  // up to timer granularity; allow 10% slack on the covering direction
+  // for scheduling noise in CI.
+  EXPECT_GT(attributed_micros, 0.0);
+  EXPECT_GT(e2e_micros, 0.0);
+  EXPECT_LE(attributed_micros, e2e_micros * 1.10);
+  EXPECT_GE(attributed_micros, e2e_micros * 0.50);
+  // The sliding-window latency histogram saw every query too.
+  EXPECT_EQ(registry
+                .GetSlidingHistogram("msq_scheduler_latency_window_micros",
+                                     obs::LatencyBoundariesMicros(),
+                                     std::chrono::seconds(30))
+                ->Snap()
+                .count,
+            queries.size());
 }
 
 }  // namespace
