@@ -1,0 +1,269 @@
+// Micro-benchmark of the LAESA pivot-filtering layer (DESIGN §12).
+//
+// Section 1 — equivalence: on every backend, the engine with pivots armed
+// vs. the pivot-off oracle, in both kernel modes. Answer sets must be
+// bit-identical (the filter is strict and can only remove distance
+// computations), batched and scalar pivot runs must agree exactly on
+// dist_computations and on the total avoided count, and the single-query
+// path (Figure 1, including the M-tree's hyper-ring cuts) must match its
+// own pivot-off oracle. Any violation fails the run — this is what CI's
+// pivot-smoke job asserts.
+//
+// Section 2 — reduction: dist_computations with pivots off vs. on over the
+// clustered Tycho-style astronomy workload. The layer's acceptance target —
+// at least a 20% drop on the m = 1 configuration, where the batch has no
+// per-batch witnesses and pivots are the only avoidance — is enforced
+// in-binary (exit non-zero below target).
+
+#include "bench/bench_common.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+std::unique_ptr<MetricDatabase> OpenPivotDb(const Workload& w,
+                                            BackendKind backend, bool pivots,
+                                            bool batched, size_t num_pivots) {
+  DatabaseOptions options;
+  options.backend = backend;
+  options.xtree_dynamic_build = true;
+  options.multi.max_batch_size = 256;
+  options.multi.buffer_capacity = 1024;
+  options.multi.use_batched_kernel = batched;
+  options.pivots.enabled = pivots;
+  options.pivots.table.num_pivots = num_pivots;
+  auto db = MetricDatabase::Open(w.dataset, BenchMetric(), options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open(%s) failed: %s\n",
+                 BackendKindName(backend).c_str(),
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+/// Runs the workload block-wise through the multiple-query engine and
+/// returns every answer set.
+StatusOr<std::vector<AnswerSet>> RunAll(MetricDatabase* db, const Workload& w,
+                                        size_t m) {
+  db->ResetAll();
+  std::vector<AnswerSet> all;
+  for (size_t block = 0; block < w.queries.size(); block += m) {
+    const size_t end = std::min(w.queries.size(), block + m);
+    std::vector<Query> batch;
+    for (size_t i = block; i < end; ++i) {
+      batch.push_back(db->MakeObjectKnnQuery(w.queries[i], w.k));
+    }
+    auto got = db->MultipleSimilarityQueryAll(batch);
+    if (!got.ok()) return got.status();
+    for (auto& a : *got) all.push_back(std::move(a));
+  }
+  return all;
+}
+
+/// Runs the workload through the single-query operation (Figure 1).
+StatusOr<std::vector<AnswerSet>> RunSingle(MetricDatabase* db,
+                                           const Workload& w) {
+  db->ResetAll();
+  std::vector<AnswerSet> all;
+  for (ObjectId id : w.queries) {
+    auto got = db->SimilarityQuery(db->MakeObjectKnnQuery(id, w.k));
+    if (!got.ok()) return got.status();
+    all.push_back(std::move(*got));
+  }
+  return all;
+}
+
+bool SameAnswers(const std::vector<AnswerSet>& a,
+                 const std::vector<AnswerSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].id != b[i][j].id || a[i][j].distance != b[i][j].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+const std::vector<BackendKind> kAllBackends = {
+    BackendKind::kLinearScan, BackendKind::kVaFile, BackendKind::kXTree,
+    BackendKind::kMTree};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.Define("n", "20000", "database size (Tycho-style clustered)");
+  flags.Define("num_queries", "48", "kNN queries per configuration");
+  flags.Define("num_pivots", "16", "pivot-table size p");
+  flags.Define("m_values", "1,16", "batch widths for the equivalence check");
+  flags.Define("min_reduction_pct", "20",
+               "required dist_computations drop at m=1 (acceptance target)");
+  flags.Define("json", "", "write one JSON record per row to this file");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const size_t num_pivots = static_cast<size_t>(flags.GetInt("num_pivots"));
+  const double min_reduction =
+      static_cast<double>(flags.GetInt("min_reduction_pct"));
+  BenchJsonWriter json(flags.GetString("json"));
+  bool ok = true;
+
+  Workload w = MakeAstroWorkload(static_cast<size_t>(flags.GetInt("n")),
+                                 static_cast<size_t>(
+                                     flags.GetInt("num_queries")));
+
+  std::printf("=== pivot equivalence: pivots on (batched + scalar) vs "
+              "pivot-off oracle ===\n");
+  for (BackendKind backend : kAllBackends) {
+    for (int64_t m : flags.GetIntList("m_values")) {
+      auto off_db = OpenPivotDb(w, backend, false, true, num_pivots);
+      auto on_batched = OpenPivotDb(w, backend, true, true, num_pivots);
+      auto on_scalar = OpenPivotDb(w, backend, true, false, num_pivots);
+      auto oracle = RunAll(off_db.get(), w, static_cast<size_t>(m));
+      auto batched = RunAll(on_batched.get(), w, static_cast<size_t>(m));
+      auto scalar = RunAll(on_scalar.get(), w, static_cast<size_t>(m));
+      if (!oracle.ok() || !batched.ok() || !scalar.ok()) {
+        std::fprintf(stderr, "equivalence run failed\n");
+        return 1;
+      }
+      const QueryStats& off = off_db->stats();
+      const QueryStats& bs = on_batched->stats();
+      const QueryStats& ss = on_scalar->stats();
+      const bool answers_equal =
+          SameAnswers(*oracle, *batched) && SameAnswers(*oracle, *scalar);
+      // The scalar mode is the batched mode's exact cost oracle; the
+      // per-layer avoided split may shift between modes (page_kernel.h),
+      // the total may not. Pivots never add distance computations.
+      const bool counts_equal =
+          bs.dist_computations == ss.dist_computations &&
+          bs.pivot_avoided + bs.triangle_avoided ==
+              ss.pivot_avoided + ss.triangle_avoided &&
+          bs.pivot_dist_computations == ss.pivot_dist_computations &&
+          bs.dist_computations <= off.dist_computations;
+      std::printf("%-12s m=%-3lld answers=%s dists=%llu/%llu (off %llu) "
+                  "pivot_avoided=%llu  %s\n",
+                  BackendKindName(backend).c_str(), static_cast<long long>(m),
+                  answers_equal ? "same" : "DIFF",
+                  static_cast<unsigned long long>(bs.dist_computations),
+                  static_cast<unsigned long long>(ss.dist_computations),
+                  static_cast<unsigned long long>(off.dist_computations),
+                  static_cast<unsigned long long>(bs.pivot_avoided),
+                  answers_equal && counts_equal ? "OK" : "FAIL");
+      if (json.enabled()) {
+        json.BeginRecord("micro_pivot");
+        json.Str("section", "equivalence");
+        json.Str("backend", BackendKindName(backend));
+        json.Int("m", m);
+        json.Int("answers_identical", answers_equal ? 1 : 0);
+        json.Int("counts_identical", counts_equal ? 1 : 0);
+        json.Int("dist_computations",
+                 static_cast<int64_t>(bs.dist_computations));
+        json.Int("pivot_dist_computations",
+                 static_cast<int64_t>(bs.pivot_dist_computations));
+        json.Int("pivot_tries", static_cast<int64_t>(bs.pivot_tries));
+        json.Int("pivot_avoided", static_cast<int64_t>(bs.pivot_avoided));
+        json.Int("triangle_avoided",
+                 static_cast<int64_t>(bs.triangle_avoided));
+      }
+      ok = ok && answers_equal && counts_equal;
+    }
+
+    // Single-query path (Figure 1; on the M-tree this exercises the
+    // hyper-ring cuts during descent).
+    auto off_db = OpenPivotDb(w, backend, false, true, num_pivots);
+    auto on_db = OpenPivotDb(w, backend, true, true, num_pivots);
+    auto oracle = RunSingle(off_db.get(), w);
+    auto piv = RunSingle(on_db.get(), w);
+    if (!oracle.ok() || !piv.ok()) {
+      std::fprintf(stderr, "single-query run failed\n");
+      return 1;
+    }
+    const bool answers_equal = SameAnswers(*oracle, *piv);
+    const bool counts_sane = on_db->stats().dist_computations <=
+                             off_db->stats().dist_computations;
+    std::printf("%-12s single answers=%s dists=%llu (off %llu)  %s\n",
+                BackendKindName(backend).c_str(),
+                answers_equal ? "same" : "DIFF",
+                static_cast<unsigned long long>(
+                    on_db->stats().dist_computations),
+                static_cast<unsigned long long>(
+                    off_db->stats().dist_computations),
+                answers_equal && counts_sane ? "OK" : "FAIL");
+    if (json.enabled()) {
+      json.BeginRecord("micro_pivot");
+      json.Str("section", "equivalence_single");
+      json.Str("backend", BackendKindName(backend));
+      json.Int("answers_identical", answers_equal ? 1 : 0);
+      json.Int("counts_identical", counts_sane ? 1 : 0);
+      json.Int("dist_computations",
+               static_cast<int64_t>(on_db->stats().dist_computations));
+      json.Int("pivot_dist_computations",
+               static_cast<int64_t>(on_db->stats().pivot_dist_computations));
+      json.Int("pivot_tries",
+               static_cast<int64_t>(on_db->stats().pivot_tries));
+      json.Int("pivot_avoided",
+               static_cast<int64_t>(on_db->stats().pivot_avoided));
+    }
+    ok = ok && answers_equal && counts_sane;
+  }
+
+  std::printf("\n=== pivot reduction on %s (acceptance: >= %.0f%% fewer "
+              "dist_computations at m=1) ===\n",
+              w.name.c_str(), min_reduction);
+  for (BackendKind backend : kAllBackends) {
+    for (int64_t m : flags.GetIntList("m_values")) {
+      auto off_db = OpenPivotDb(w, backend, false, true, num_pivots);
+      auto on_db = OpenPivotDb(w, backend, true, true, num_pivots);
+      RunBlocks(off_db.get(), w, static_cast<size_t>(m));
+      RunBlocks(on_db.get(), w, static_cast<size_t>(m));
+      const auto off = off_db->stats().dist_computations;
+      const auto on = on_db->stats().dist_computations;
+      const double reduction_pct =
+          off == 0 ? 0.0
+                   : 100.0 * static_cast<double>(off - on) /
+                         static_cast<double>(off);
+      // The target applies at m = 1: no batch, no witnesses — the pivot
+      // layer is the only avoidance in play.
+      const bool enforced = m == 1;
+      const bool meets = !enforced || reduction_pct >= min_reduction;
+      std::printf("%-12s m=%-3lld dists %8llu -> %8llu  (-%5.1f%%) "
+                  "pivot_avoided=%llu  %s\n",
+                  BackendKindName(backend).c_str(), static_cast<long long>(m),
+                  static_cast<unsigned long long>(off),
+                  static_cast<unsigned long long>(on), reduction_pct,
+                  static_cast<unsigned long long>(
+                      on_db->stats().pivot_avoided),
+                  meets ? (enforced ? "OK" : "info") : "FAIL");
+      if (json.enabled()) {
+        json.BeginRecord("micro_pivot");
+        json.Str("section", "reduction");
+        json.Str("backend", BackendKindName(backend));
+        json.Int("m", m);
+        json.Int("dist_off", static_cast<int64_t>(off));
+        json.Int("dist_on", static_cast<int64_t>(on));
+        json.Num("reduction_pct", reduction_pct);
+        json.Int("meets_target", meets ? 1 : 0);
+        json.Int("pivot_dist_computations",
+                 static_cast<int64_t>(on_db->stats().pivot_dist_computations));
+        json.Int("pivot_tries",
+                 static_cast<int64_t>(on_db->stats().pivot_tries));
+        json.Int("pivot_avoided",
+                 static_cast<int64_t>(on_db->stats().pivot_avoided));
+      }
+      ok = ok && meets;
+    }
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "\nmicro_pivot: FAILED (see above)\n");
+    return 1;
+  }
+  std::printf("\nmicro_pivot: all checks passed\n");
+  return 0;
+}

@@ -13,7 +13,8 @@ double QueryStats::CpuMillis(const CostModel& model, size_t dim) const {
   const double dist_us = model.DistMicros(dim);
   const double micros =
       static_cast<double>(TotalDistComputations()) * dist_us +
-      static_cast<double>(triangle_tries) * model.triangle_cmp_micros;
+      static_cast<double>(triangle_tries + pivot_tries) *
+          model.triangle_cmp_micros;
   return micros / 1000.0;
 }
 
@@ -26,6 +27,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   matrix_dist_computations += other.matrix_dist_computations;
   triangle_tries += other.triangle_tries;
   triangle_avoided += other.triangle_avoided;
+  pivot_dist_computations += other.pivot_dist_computations;
+  pivot_tries += other.pivot_tries;
+  pivot_avoided += other.pivot_avoided;
   kernel_batches += other.kernel_batches;
   kernel_batched_dists += other.kernel_batched_dists;
   kernel_speculative_dists += other.kernel_speculative_dists;
@@ -52,6 +56,10 @@ QueryStats QueryStats::operator-(const QueryStats& other) const {
       matrix_dist_computations - other.matrix_dist_computations;
   d.triangle_tries = triangle_tries - other.triangle_tries;
   d.triangle_avoided = triangle_avoided - other.triangle_avoided;
+  d.pivot_dist_computations =
+      pivot_dist_computations - other.pivot_dist_computations;
+  d.pivot_tries = pivot_tries - other.pivot_tries;
+  d.pivot_avoided = pivot_avoided - other.pivot_avoided;
   d.kernel_batches = kernel_batches - other.kernel_batches;
   d.kernel_batched_dists = kernel_batched_dists - other.kernel_batched_dists;
   d.kernel_speculative_dists =
@@ -78,6 +86,8 @@ std::string QueryStats::ToString() const {
   os << "dist=" << dist_computations << " matrix_dist="
      << matrix_dist_computations << " tri_tries=" << triangle_tries
      << " tri_avoided=" << triangle_avoided
+     << " pivot_dist=" << pivot_dist_computations
+     << " pivot_tries=" << pivot_tries << " pivot_avoided=" << pivot_avoided
      << " kernel_batches=" << kernel_batches
      << " kernel_dists=" << kernel_batched_dists
      << " kernel_spec=" << kernel_speculative_dists

@@ -55,10 +55,26 @@ struct QueryStats {
   /// (the m(m-1)/2 term of the paper's CPU cost formula).
   uint64_t matrix_dist_computations = 0;
   /// Triangle-inequality evaluations attempted (successful or not);
-  /// `avoiding_tries` in the paper's CPU formula.
+  /// `avoiding_tries` in the paper's CPU formula. One evaluated inequality
+  /// is one try: a Lemma-1 success charges one, a Lemma-2 success two
+  /// (Lemma 1 was evaluated first and failed).
   uint64_t triangle_tries = 0;
   /// Distance computations avoided thanks to Lemma 1 / Lemma 2.
   uint64_t triangle_avoided = 0;
+  /// Distance computations from a query object to the global pivot set
+  /// (the p-per-query setup term of LAESA-style filtering; see
+  /// core/pivot_table.h). Real distance computations, charged separately
+  /// so the pivot layer's overhead is visible next to its savings.
+  uint64_t pivot_dist_computations = 0;
+  /// Pivot lower-bound inequalities evaluated (successful or not) — the
+  /// pivot analogue of `triangle_tries`, costed at the same per-comparison
+  /// rate in the CPU model. Counts both per-object checks in the page
+  /// kernel and per-subtree hyper-ring checks in the M-tree descent.
+  uint64_t pivot_tries = 0;
+  /// Distance computations avoided by a pivot lower bound
+  /// |dist(O,P) - dist(Q,P)| > QueryDist (object-level), plus M-tree
+  /// routing-object distances avoided by a hyper-ring cut.
+  uint64_t pivot_avoided = 0;
 
   // --- Execution kernel -----------------------------------------------
   /// Batched distance evaluations issued by the page kernel (one per
@@ -117,7 +133,8 @@ struct QueryStats {
 
   uint64_t TotalPageReads() const { return random_page_reads + seq_page_reads; }
   uint64_t TotalDistComputations() const {
-    return dist_computations + matrix_dist_computations;
+    return dist_computations + matrix_dist_computations +
+           pivot_dist_computations;
   }
 
   /// Modeled I/O time in milliseconds under `model`.

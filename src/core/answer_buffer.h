@@ -34,6 +34,12 @@ struct BufferedQueryState {
   /// batch queries via the triangle inequality (see multi_query.cc).
   /// Valid forever once set; +infinity until derived.
   double derived_bound = std::numeric_limits<double>::infinity();
+  /// Precomputed dist(Q, P_k) for the engine's attached PivotTable; empty
+  /// until the pivot layer is armed and fills it (once per state lifetime,
+  /// charged as pivot_dist_computations). Plain distances keyed by pivot
+  /// order — deliberately NOT QueryDistanceCache indices, which are only
+  /// valid within one window (Prepare may compact between windows).
+  std::vector<double> pivot_dists;
   /// LRU clock value of the last call that touched this state.
   uint64_t last_touched = 0;
 

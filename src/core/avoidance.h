@@ -27,6 +27,14 @@
 namespace msq {
 
 /// A distance already computed for the current database object.
+///
+/// Lifetime: `cache_index` is only meaningful against the
+/// QueryDistanceCache::Prepare call that issued it, and Prepare may compact
+/// the cache (remapping indices) at the start of the *next* shifting-window
+/// execution. Witness lists must therefore live within one window — the
+/// page kernel rebuilds its list per object and the engine refreshes every
+/// index per ExecuteAll call; nothing may store a KnownQueryDistance across
+/// windows.
 struct KnownQueryDistance {
   /// Cache index (QueryDistanceCache) of the query object.
   uint32_t cache_index = 0;
@@ -34,20 +42,32 @@ struct KnownQueryDistance {
   double distance = 0.0;
 };
 
+/// Default witness cap. Single source of truth:
+/// MultiQueryOptions::avoidance_max_witnesses initializes from this, so the
+/// engine and a direct caller of CanAvoidDistance see the same default.
+inline constexpr size_t kDefaultMaxWitnesses = 8;
+
 /// Tries to prove dist(O, Q_j) > query_dist_j from the known distances.
-/// Every evaluated inequality is charged as one `triangle_tries`; a
-/// successful proof additionally charges one `triangle_avoided`.
-/// `query_dist_j` may be infinite (unsaturated kNN), in which case no
-/// avoidance is possible and nothing is charged.
+/// Every evaluated inequality is charged as one `triangle_tries` — one
+/// inequality is one try, so a Lemma-1 success charges exactly one, a
+/// Lemma-2 success (Lemma 1 evaluated first and failed) exactly two, and a
+/// witness that proves nothing exactly two. A successful proof additionally
+/// charges one `triangle_avoided`. `query_dist_j` may be infinite
+/// (unsaturated kNN), in which case no avoidance is possible and nothing is
+/// charged.
 ///
-/// At most `max_witnesses` known distances are examined: a failed scan of
-/// a long witness list costs real comparisons (the `avoiding_tries` term
-/// of the paper's CPU formula), and witnesses beyond the first few —
-/// ordered by proximity to the page — rarely succeed where those failed.
+/// At most `max_witnesses` known distances are examined — the cap check
+/// runs *before* a witness is charged, so a failed scan of a long list
+/// charges exactly 2 * max_witnesses tries, never a stray try for witness
+/// max_witnesses + 1 (pinned by tests/avoidance_test.cc). Rationale for the
+/// cap: a failed scan costs real comparisons (the `avoiding_tries` term of
+/// the paper's CPU formula), and witnesses beyond the first few — ordered
+/// by proximity to the page — rarely succeed where those failed.
 bool CanAvoidDistance(const QueryDistanceCache& cache,
                       const std::vector<KnownQueryDistance>& known,
                       uint32_t cache_index_j, double query_dist_j,
-                      QueryStats* stats, size_t max_witnesses = 16);
+                      QueryStats* stats,
+                      size_t max_witnesses = kDefaultMaxWitnesses);
 
 }  // namespace msq
 

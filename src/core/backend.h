@@ -26,6 +26,8 @@ namespace obs {
 class MetricsSink;
 }  // namespace obs
 
+class PivotTable;
+
 /// One candidate data page with a lower bound on the distance from the
 /// primary query object to any object stored on it.
 struct PageCandidate {
@@ -137,6 +139,13 @@ class QueryBackend {
   /// pool hit/miss/eviction counters). Default: no-op, for backends (and
   /// test fakes) without metered storage.
   virtual void SetMetricsSink(const obs::MetricsSink* /*sink*/) {}
+
+  /// Offers the database's global pivot table to the backend. Backends
+  /// with index-side pruning opportunities (the M-tree's PM-tree-style
+  /// hyper-rings) keep the shared_ptr and build their per-subtree
+  /// structures from it; the default ignores it — page-level pivot
+  /// filtering lives in the engines, not the backend.
+  virtual void AttachPivots(std::shared_ptr<const PivotTable> /*pivots*/) {}
 
   /// The backend's DataLayout, for persistence (SaveToStore/AttachStore).
   /// Null for backends without one (test fakes, remote proxies). Tree

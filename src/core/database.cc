@@ -97,7 +97,18 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
     }
   }
   db->WireEngine();
+  if (options.pivots.enabled) {
+    auto table = PivotTable::Build(*shared, *metric, options.pivots.table);
+    if (!table.ok()) return table.status();
+    db->ArmPivots(std::shared_ptr<const PivotTable>(std::move(table).value()));
+  }
   return db;
+}
+
+void MetricDatabase::ArmPivots(std::shared_ptr<const PivotTable> table) {
+  pivots_ = std::move(table);
+  engine_->AttachPivots(pivots_);
+  backend_->AttachPivots(pivots_);
 }
 
 void MetricDatabase::WireEngine() {
@@ -137,6 +148,15 @@ Status MetricDatabase::Save(const std::string& path) {
     std::ostringstream labels;
     MSQ_RETURN_IF_ERROR(WriteVector(labels, dataset_->labels()));
     MSQ_RETURN_IF_ERROR(store->PutObject("labels", labels.str()));
+  }
+  if (pivots_ != nullptr) {
+    // The pivot table is part of the database: a reopened file filters
+    // with exactly the pivots (and counters) the saved one did. Presence
+    // of the "pivots" object is the arming flag — the meta format is
+    // unchanged, so stores without pivots stay readable as before.
+    std::ostringstream pivots;
+    MSQ_RETURN_IF_ERROR(pivots_->SaveTo(pivots));
+    MSQ_RETURN_IF_ERROR(store->PutObject("pivots", pivots.str()));
   }
   std::ostringstream meta;
   MSQ_RETURN_IF_ERROR(WriteU32(meta, kDbMetaTag));
@@ -272,6 +292,25 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
     }
   }
 
+  // Restore (or rebuild) the pivot layer before the store handle moves
+  // into the layout. Stored pivots win: the reopened database filters with
+  // exactly the table the saved one did. Without a stored table, a
+  // runtime-enabled configuration builds a fresh one from the
+  // reconstructed dataset.
+  std::shared_ptr<const PivotTable> pivot_table;
+  if (store->HasObject("pivots")) {
+    std::string pivot_bytes;
+    MSQ_RETURN_IF_ERROR(store->GetObject("pivots", &pivot_bytes));
+    std::istringstream pivots_in(pivot_bytes);
+    auto loaded = PivotTable::LoadFrom(pivots_in, *shared, *metric);
+    if (!loaded.ok()) return loaded.status();
+    pivot_table = std::move(loaded).value();
+  } else if (options.pivots.enabled) {
+    auto built = PivotTable::Build(*shared, *metric, options.pivots.table);
+    if (!built.ok()) return built.status();
+    pivot_table = std::move(built).value();
+  }
+
   // Route page reads through the file (MutableLayout finalizes the trees,
   // reproducing the page map the store's directory was written against).
   DataLayout* layout = db->backend_->MutableLayout();
@@ -280,6 +319,7 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
   }
   MSQ_RETURN_IF_ERROR(layout->AttachStore(std::move(store)));
   db->WireEngine();
+  if (pivot_table != nullptr) db->ArmPivots(std::move(pivot_table));
   return db;
 }
 
@@ -315,7 +355,9 @@ StatusOr<AnswerSet> MetricDatabase::SimilarityQuery(const Query& query) {
   const obs::MetricsSink* sink = options_.multi.metrics;
   obs::ScopedSpan span(sink != nullptr ? sink->tracer() : nullptr,
                        "engine.single_query", "engine");
-  auto result = ExecuteSingleQuery(backend_.get(), counted, query, &stats_);
+  auto result =
+      ExecuteSingleQuery(backend_.get(), counted, query, &stats_,
+                         pivots_.get());
   if (span.active()) {
     span.AddArg("dists",
                 static_cast<double>(stats_.dist_computations -

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "core/backend.h"
 #include "core/multi_query.h"
+#include "core/pivot_table.h"
 #include "core/query.h"
 #include "dataset/dataset.h"
 #include "dist/metric.h"
@@ -57,6 +58,17 @@ struct DatabaseOptions {
   VaFileOptions va_file;
   /// Build the X-tree by repeated insertion instead of bulk loading.
   bool xtree_dynamic_build = false;
+  /// LAESA-style pivot filtering (DESIGN §12). Disabled by default, so
+  /// every pre-existing baseline keeps its exact counters. When enabled,
+  /// Open builds a global PivotTable (an offline index build, uncharged)
+  /// and arms it on both engines and the backend (M-tree hyper-rings);
+  /// Save persists it as the page store's "pivots" object and Open(path)
+  /// restores it — a reopened database keeps its pivot layer regardless of
+  /// this flag.
+  struct PivotFilterOptions {
+    bool enabled = false;
+    PivotTableOptions table;
+  } pivots;
   /// When set, the backend is wrapped in a robust::FaultInjectingBackend
   /// driven by this injector (crashes, flaky page reads, latency spikes).
   /// The injector is shared so a test / cluster driver can flip faults on a
@@ -144,6 +156,8 @@ class MetricDatabase {
   std::shared_ptr<const Dataset> dataset_ptr() const { return dataset_; }
   QueryBackend& backend() { return *backend_; }
   MultiQueryEngine& engine() { return *engine_; }
+  /// The armed pivot table; null when pivot filtering is off.
+  std::shared_ptr<const PivotTable> pivot_table() const { return pivots_; }
   const CostModel& cost_model() const { return options_.cost_model; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -157,11 +171,15 @@ class MetricDatabase {
   /// the observability sink. Requires backend_ to be set.
   void WireEngine();
 
+  /// Arms `table` on the engine and the backend (both see the same table).
+  void ArmPivots(std::shared_ptr<const PivotTable> table);
+
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const Metric> metric_;
   DatabaseOptions options_;
   std::unique_ptr<QueryBackend> backend_;
   std::unique_ptr<MultiQueryEngine> engine_;
+  std::shared_ptr<const PivotTable> pivots_;
   QueryStats stats_;
   QueryId next_query_id_;
 };

@@ -35,6 +35,14 @@ class QueryDistanceCache {
   /// pairs (charged to `metric`'s stats sink as matrix distance
   /// computations). On return `indices->at(i)` is the cache index of
   /// queries[i] for use with Dist().
+  ///
+  /// Index lifetime: Prepare may compact the cache (dropping queries not in
+  /// `queries` and renumbering survivors) before issuing indices, so a cache
+  /// index is valid only until the next Prepare call. Nothing may hold one
+  /// across shifting windows — KnownQueryDistance lists are rebuilt per
+  /// window, and the pivot layer stores plain distances, never indices
+  /// (tests/avoidance_test.cc stresses windows across the compaction
+  /// threshold).
   void Prepare(std::span<const Query> queries, const CountingMetric& metric,
                std::vector<uint32_t>* indices);
 

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "common/timer.h"
+#include "core/pivot_table.h"
 
 namespace msq {
 
@@ -155,6 +156,20 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
       if (fresh) created.push_back(queries[i].id);
       states[i] = got.value();
       buffer_.Touch(states[i]);
+    }
+  }
+
+  // Pivot setup: each buffered state computes its p query-to-pivot
+  // distances once per lifetime (charged as pivot_dist_computations), then
+  // every window reuses them. Stored as plain distances in the state —
+  // never as cache indices, which do not survive the next Prepare.
+  const bool use_pivots = pivots_ != nullptr;
+  if (use_pivots) {
+    for (size_t i = 0; i < m; ++i) {
+      if (states[i]->pivot_dists.size() != pivots_->num_pivots()) {
+        pivots_->QueryDists(states[i]->query.point, metric_.base(), stats,
+                            &states[i]->pivot_dists);
+      }
     }
   }
 
@@ -337,6 +352,7 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
           aq.derived_bound = s->derived_bound;
           aq.cache_index = qq_index[i];
         }
+        if (use_pivots) aq.pivot_dists = s->pivot_dists.data();
         kernel_active.push_back(aq);
       }
       if (attribute) {
@@ -344,12 +360,14 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
         kernel_.ProcessPage(block, kernel_active, metric_,
                             use_avoidance ? &qq_cache_ : nullptr,
                             options_.avoidance_max_witnesses,
+                            use_pivots ? pivots_.get() : nullptr,
                             options_.use_batched_kernel, stats);
         stats->attr_kernel_micros += kernel_timer.ElapsedMicros();
       } else {
         kernel_.ProcessPage(block, kernel_active, metric_,
                             use_avoidance ? &qq_cache_ : nullptr,
                             options_.avoidance_max_witnesses,
+                            use_pivots ? pivots_.get() : nullptr,
                             options_.use_batched_kernel, stats);
       }
       // Cold batches derive nothing before the first page saturates the
@@ -400,6 +418,14 @@ Status MultiQueryEngine::ExecuteInternal(std::span<const Query> queries,
         ": deadline expired; buffered partial answers returned");
   }
   return Status::OK();
+}
+
+void MultiQueryEngine::AttachPivots(std::shared_ptr<const PivotTable> pivots) {
+  pivots_ = std::move(pivots);
+  // Buffered states may hold pivot distances of a previous table (or stale
+  // sizes); drop everything so the next call recomputes against the new
+  // table instead of filtering with the wrong witnesses.
+  buffer_.Clear();
 }
 
 void MultiQueryEngine::Reset() {

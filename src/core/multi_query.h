@@ -28,6 +28,8 @@
 
 namespace msq {
 
+class PivotTable;
+
 /// Tuning knobs of the multiple-query engine. The two `enable_*` flags
 /// switch the paper's two orthogonal techniques independently (used by the
 /// ablation benches); with both off and batch size 1 the engine degenerates
@@ -44,7 +46,9 @@ struct MultiQueryOptions {
   /// Sec. 5.2: query-distance matrix + Lemmas 1/2.
   bool enable_triangle_avoidance = true;
   /// Witness-scan cap of one avoidance attempt (see CanAvoidDistance).
-  size_t avoidance_max_witnesses = 8;
+  /// Initializes from the library-wide default so the engine and a direct
+  /// caller of CanAvoidDistance cannot drift apart again.
+  size_t avoidance_max_witnesses = kDefaultMaxWitnesses;
   /// Evaluate page distances through the metrics' batched kernels
   /// (PageKernel's default mode). Off = the scalar reference loop, which
   /// computes identical answers and identical `dist_computations` /
@@ -121,6 +125,15 @@ class MultiQueryEngine {
   StatusOr<BatchResult> ExecuteAllPartial(const std::vector<Query>& queries,
                                           QueryStats* stats);
 
+  /// Arms (or, with nullptr, disarms) LAESA-style pivot filtering: the
+  /// page kernel checks each active query's precomputed pivot distances
+  /// against the table's object rows before the per-batch Lemma 1/2
+  /// witnesses. Filter-only — answers are bit-identical with and without a
+  /// table (tests/pivot_test.cc). The table must describe exactly the
+  /// backend's objects (ids and metric); MetricDatabase guarantees this
+  /// when it builds/loads the table.
+  void AttachPivots(std::shared_ptr<const PivotTable> pivots);
+
   /// Drops all buffered state (between experiments).
   void Reset();
 
@@ -145,6 +158,7 @@ class MultiQueryEngine {
   AnswerBuffer buffer_;
   QueryDistanceCache qq_cache_;
   PageKernel kernel_;
+  std::shared_ptr<const PivotTable> pivots_;
 
   // Instruments, resolved once at construction (null when metrics is null).
   obs::Tracer* tracer_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/pivot_table.h"
 #include "obs/metrics.h"
 
 namespace msq {
@@ -10,13 +11,25 @@ void PageKernel::ProcessPage(const PageBlock& block,
                              std::span<ActiveQuery> active,
                              const CountingMetric& metric,
                              const QueryDistanceCache* cache,
-                             size_t max_witnesses, bool batched,
-                             QueryStats* stats) {
+                             size_t max_witnesses, const PivotTable* pivots,
+                             bool batched, QueryStats* stats) {
   if (block.size() == 0 || active.empty()) return;
+  if (pivots != nullptr) {
+    // Gather the page objects' pivot rows into one contiguous per-page
+    // block, mirroring the packed vector rows: every active query scans
+    // the same rows in page-local order, so the gather amortizes over the
+    // batch and the filter loop streams sequential memory.
+    const size_t p = pivots->num_pivots();
+    pivot_rows_.resize(block.size() * p);
+    for (size_t o = 0; o < block.size(); ++o) {
+      const double* r = pivots->Row(block.ids[o]);
+      std::copy(r, r + p, pivot_rows_.data() + o * p);
+    }
+  }
   if (batched) {
-    ProcessBatched(block, active, metric, cache, max_witnesses, stats);
+    ProcessBatched(block, active, metric, cache, max_witnesses, pivots, stats);
   } else {
-    ProcessScalar(block, active, metric, cache, max_witnesses, stats);
+    ProcessScalar(block, active, metric, cache, max_witnesses, pivots, stats);
   }
 }
 
@@ -24,8 +37,10 @@ void PageKernel::ProcessScalar(const PageBlock& block,
                                std::span<ActiveQuery> active,
                                const CountingMetric& metric,
                                const QueryDistanceCache* cache,
-                               size_t max_witnesses, QueryStats* stats) {
+                               size_t max_witnesses, const PivotTable* pivots,
+                               QueryStats* stats) {
   const size_t dim = block.vecs.dim;
+  const size_t p = pivots != nullptr ? pivots->num_pivots() : 0;
   row_scratch_.resize(dim);
   for (size_t o = 0; o < block.size(); ++o) {
     const Scalar* row = block.vecs.row(o);
@@ -34,6 +49,14 @@ void PageKernel::ProcessScalar(const PageBlock& block,
     for (ActiveQuery& aq : active) {
       const double query_dist =
           std::min(aq.answers->QueryDist(), aq.derived_bound);
+      // Pivot filter first (precomputed rows are the cheaper witness), then
+      // the per-batch Lemma 1/2 witnesses. An avoided object contributes no
+      // witness for later queries, exactly like a triangle-avoided one.
+      if (pivots != nullptr && aq.pivot_dists != nullptr &&
+          PivotCanAvoid(pivot_rows_.data() + o * p, aq.pivot_dists, p,
+                        query_dist, stats)) {
+        continue;  // dist(obj, Q) proven > the final answer radius.
+      }
       if (cache != nullptr &&
           CanAvoidDistance(*cache, known_one_, aq.cache_index, query_dist,
                            stats, max_witnesses)) {
@@ -50,13 +73,15 @@ void PageKernel::ProcessBatched(const PageBlock& block,
                                 std::span<ActiveQuery> active,
                                 const CountingMetric& metric,
                                 const QueryDistanceCache* cache,
-                                size_t max_witnesses, QueryStats* stats) {
+                                size_t max_witnesses, const PivotTable* pivots,
+                                QueryStats* stats) {
   const size_t n = block.size();
   const size_t dim = block.vecs.dim;
+  const size_t p = pivots != nullptr ? pivots->num_pivots() : 0;
 
-  if (cache == nullptr) {
-    // Avoidance disarmed: the scalar algorithm computes every distance, so
-    // one dense counted batch per query is exactly equivalent.
+  if (cache == nullptr && pivots == nullptr) {
+    // No filter layer armed: the scalar algorithm computes every distance,
+    // so one dense counted batch per query is exactly equivalent.
     dists_.resize(n);
     for (ActiveQuery& aq : active) {
       metric.BatchDistance(*aq.point, block.vecs, dists_);
@@ -74,22 +99,34 @@ void PageKernel::ProcessBatched(const PageBlock& block,
     return;
   }
 
-  // Avoidance armed: filter / evaluate / replay per query (header comment).
+  // A filter armed: filter / evaluate / replay per query (header comment),
+  // pivot lower bounds checked before the per-batch witnesses in both the
+  // phase-1 filter and the replay retest — the order the scalar loop uses.
   // Witness lists are per object, appended in query processing order —
   // identical content and order to the scalar loop's, because a query's
   // witnesses are exactly the distances earlier queries computed for the
   // object, and those are fully decided before this query runs.
-  if (known_.size() < n) known_.resize(n);
-  for (size_t o = 0; o < n; ++o) known_[o].clear();
+  if (cache != nullptr) {
+    if (known_.size() < n) known_.resize(n);
+    for (size_t o = 0; o < n; ++o) known_[o].clear();
+  }
 
   for (ActiveQuery& aq : active) {
-    // Radius at page start. Avoidance provable at r0 stays provable at
-    // every smaller radius, so the filter under-avoids, never over-avoids.
+    const double* qp = pivots != nullptr ? aq.pivot_dists : nullptr;
+    // Radius at page start. Both filters are monotone in the radius —
+    // provable at r0 stays provable at every smaller radius — so the
+    // phase-1 filter under-avoids, never over-avoids.
     const double r0 = std::min(aq.answers->QueryDist(), aq.derived_bound);
 
     survivors_.clear();
     for (uint32_t o = 0; o < n; ++o) {
-      if (CanAvoidDistance(*cache, known_[o], aq.cache_index, r0, stats,
+      if (qp != nullptr &&
+          PivotCanAvoid(pivot_rows_.data() + static_cast<size_t>(o) * p, qp, p,
+                        r0, stats)) {
+        continue;  // Final: the scalar loop avoids this object too.
+      }
+      if (cache != nullptr &&
+          CanAvoidDistance(*cache, known_[o], aq.cache_index, r0, stats,
                            max_witnesses)) {
         continue;  // Final: the scalar loop avoids this object too.
       }
@@ -130,18 +167,27 @@ void PageKernel::ProcessBatched(const PageBlock& block,
       const uint32_t o = survivors_[i];
       const double query_dist =
           std::min(aq.answers->QueryDist(), aq.derived_bound);
-      if (query_dist < r0 &&
-          CanAvoidDistance(*cache, known_[o], aq.cache_index, query_dist,
-                           stats, max_witnesses)) {
-        // Computed speculatively, now proven avoidable: discard. No
+      if (query_dist < r0) {
+        // Computed speculatively; retest both filters at the shrunk
+        // radius. A retest success discards the value: no
         // dist_computations charge, no witness, no offer — the scalar
-        // outcome. (This object pays triangle_tries twice; documented.)
-        if (stats != nullptr) ++stats->kernel_speculative_dists;
-        continue;
+        // outcome. (Retested objects pay *_tries twice; documented.)
+        if (qp != nullptr &&
+            PivotCanAvoid(pivot_rows_.data() + static_cast<size_t>(o) * p, qp,
+                          p, query_dist, stats)) {
+          if (stats != nullptr) ++stats->kernel_speculative_dists;
+          continue;
+        }
+        if (cache != nullptr &&
+            CanAvoidDistance(*cache, known_[o], aq.cache_index, query_dist,
+                             stats, max_witnesses)) {
+          if (stats != nullptr) ++stats->kernel_speculative_dists;
+          continue;
+        }
       }
       ++computed;
       const double d = dists_[i];
-      known_[o].push_back({aq.cache_index, d});
+      if (cache != nullptr) known_[o].push_back({aq.cache_index, d});
       aq.answers->Offer(block.ids[o], d);
     }
     metric.ChargeDistances(computed);

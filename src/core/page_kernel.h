@@ -33,6 +33,20 @@
 //    algorithm of Figure 1 / Sec. 5.2. It is the oracle the batched mode
 //    is tested against (tests/kernel_test.cc) and the baseline of
 //    bench/micro_kernel.cc.
+//
+// When a PivotTable is armed, its lower bounds run as a second filter layer
+// *before* the per-batch Lemma 1/2 witnesses in both modes (cheapest filter
+// first: pivot rows are precomputed, witnesses cost a cache lookup). The
+// pivot inequality is monotone in the radius exactly like Lemma 1/2, so the
+// batched mode's phase-1/replay structure carries over unchanged: phase-1
+// pivot avoidance at r0 is final, and replay retests pivot-then-triangle
+// where the radius shrank. Answers, `dist_computations` and the *total*
+// avoided count (`pivot_avoided + triangle_avoided`) stay identical between
+// the modes. The per-layer split can shift: a smaller radius makes the
+// pivot bound *stronger*, so an avoidance that phase 1 (at r0) credited to
+// a Lemma-1/2 witness may, in the scalar mode's per-object radius, be
+// claimed by the pivot layer first. The *_tries counters can also differ
+// (retested objects pay twice). Pinned by tests/pivot_test.cc.
 
 #ifndef MSQ_CORE_PAGE_KERNEL_H_
 #define MSQ_CORE_PAGE_KERNEL_H_
@@ -55,6 +69,8 @@ namespace obs {
 class Histogram;
 }  // namespace obs
 
+class PivotTable;
+
 /// Stateful (scratch-owning) page processor. Not thread-safe; each engine
 /// owns one. Reusing the kernel across pages keeps the per-object witness
 /// lists, survivor indices and distance buffers allocated.
@@ -70,6 +86,10 @@ class PageKernel {
     double derived_bound = std::numeric_limits<double>::infinity();
     /// QueryDistanceCache index; meaningful only when a cache is passed.
     uint32_t cache_index = 0;
+    /// Precomputed dist(Q, P_k) for the armed PivotTable's pivots (see
+    /// PivotTable::QueryDists); null disables pivot filtering for this
+    /// query even when a table is passed.
+    const double* pivot_dists = nullptr;
   };
 
   /// Batch-size histogram (rows per batched evaluation); may be null.
@@ -80,20 +100,22 @@ class PageKernel {
   /// stats sink installed on `metric` (plus the avoidance/kernel counters
   /// to `stats`, which may be null). Avoidance is armed iff `cache` is
   /// non-null; `max_witnesses` caps one avoidance attempt's witness scan.
+  /// Pivot filtering is armed iff `pivots` is non-null — queries whose
+  /// `pivot_dists` is null are still processed, just unfiltered.
   void ProcessPage(const PageBlock& block, std::span<ActiveQuery> active,
                    const CountingMetric& metric,
                    const QueryDistanceCache* cache, size_t max_witnesses,
-                   bool batched, QueryStats* stats);
+                   const PivotTable* pivots, bool batched, QueryStats* stats);
 
  private:
   void ProcessScalar(const PageBlock& block, std::span<ActiveQuery> active,
                      const CountingMetric& metric,
                      const QueryDistanceCache* cache, size_t max_witnesses,
-                     QueryStats* stats);
+                     const PivotTable* pivots, QueryStats* stats);
   void ProcessBatched(const PageBlock& block, std::span<ActiveQuery> active,
                       const CountingMetric& metric,
                       const QueryDistanceCache* cache, size_t max_witnesses,
-                      QueryStats* stats);
+                      const PivotTable* pivots, QueryStats* stats);
 
   obs::Histogram* batch_size_ = nullptr;
 
@@ -103,6 +125,10 @@ class PageKernel {
   std::vector<uint32_t> survivors_;
   std::vector<Scalar> gather_;
   std::vector<double> dists_;
+  /// The current page's pivot rows gathered contiguously (page-local index
+  /// o's row at [o * p, (o+1) * p)); filled once per page, scanned by every
+  /// active query.
+  std::vector<double> pivot_rows_;
   Vec row_scratch_;
 };
 

@@ -4,12 +4,14 @@
 
 #include "core/answer_list.h"
 #include "core/page_kernel.h"
+#include "core/pivot_table.h"
 
 namespace msq {
 
 StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
                                        CountingMetric& metric,
-                                       const Query& query, QueryStats* stats) {
+                                       const Query& query, QueryStats* stats,
+                                       const PivotTable* pivots) {
   if (backend == nullptr) {
     return Status::InvalidArgument("backend is null");
   }
@@ -25,6 +27,11 @@ StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
   PageKernel::ActiveQuery active;
   active.point = &query.point;
   active.answers = &answers;
+  std::vector<double> pivot_dists;
+  if (pivots != nullptr) {
+    pivots->QueryDists(query.point, metric.base(), stats, &pivot_dists);
+    active.pivot_dists = pivot_dists.data();
+  }
 
   std::unique_ptr<CandidateStream> stream = backend->OpenStream(query, stats);
   PageCandidate candidate;
@@ -36,9 +43,10 @@ StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
     if (!read.ok()) return read;
     // One query, no avoidance cache: the kernel runs one dense batched
     // evaluation per page — same distances and counts as the per-object
-    // loop, evaluated over contiguous rows.
+    // loop, evaluated over contiguous rows. With pivots armed it runs the
+    // filter/evaluate/replay path instead (same answers, fewer distances).
     kernel.ProcessPage(block, std::span<PageKernel::ActiveQuery>(&active, 1),
-                       metric, /*cache=*/nullptr, /*max_witnesses=*/0,
+                       metric, /*cache=*/nullptr, /*max_witnesses=*/0, pivots,
                        /*batched=*/true, stats);
   }
   if (stats != nullptr) {

@@ -11,14 +11,22 @@
 
 namespace msq {
 
+class PivotTable;
+
 /// Executes one similarity query against `backend`, charging distance
 /// computations and page accesses to `stats` (which may be null for
 /// unmetered execution). The metric's stats sink is scoped to this call
 /// (attached on entry, restored on every return path); the metric itself
 /// is not copied. Returns the complete answer set.
+///
+/// When `pivots` is non-null its lower bounds filter page objects before
+/// any distance computation (p query-to-pivot setup distances are charged
+/// as pivot_dist_computations). Filter-only: answers are bit-identical
+/// with and without the table.
 StatusOr<AnswerSet> ExecuteSingleQuery(QueryBackend* backend,
                                        CountingMetric& metric,
-                                       const Query& query, QueryStats* stats);
+                                       const Query& query, QueryStats* stats,
+                                       const PivotTable* pivots = nullptr);
 
 }  // namespace msq
 

@@ -31,6 +31,7 @@
 #include "core/distance_matrix.h"  // IWYU pragma: export
 #include "core/multi_cursor.h"   // IWYU pragma: export
 #include "core/multi_query.h"    // IWYU pragma: export
+#include "core/pivot_table.h"    // IWYU pragma: export
 #include "core/planner.h"        // IWYU pragma: export
 #include "core/query.h"          // IWYU pragma: export
 #include "core/single_query.h"   // IWYU pragma: export

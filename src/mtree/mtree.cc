@@ -1,6 +1,7 @@
 #include "mtree/mtree.h"
 
 #include "common/serialize.h"
+#include "core/pivot_table.h"
 
 #include <algorithm>
 #include <cassert>
@@ -544,7 +545,43 @@ void MTreeBackend::Finalize() {
   layout_ = DataLayout::FromGroups(std::move(groups), buffer_pages);
   layout_.MaterializeRows(dataset_->dim(), dataset_->objects());
   layout_.SetMetricsSink(metrics_sink_);
+  // Inserts since the last attach may have reshaped subtrees; re-derive
+  // the hyper-rings so they bound the current membership.
+  if (pivots_ != nullptr && root_ != kInvalidMNode) BuildRings(root_);
   finalized_ = true;
+}
+
+void MTreeBackend::AttachPivots(std::shared_ptr<const PivotTable> pivots) {
+  if (pivots != nullptr && pivots->num_objects() != dataset_->size()) {
+    return;  // wrong table; rings from it would prune valid answers
+  }
+  pivots_ = std::move(pivots);
+  if (pivots_ != nullptr && root_ != kInvalidMNode) BuildRings(root_);
+}
+
+void MTreeBackend::BuildRings(MNodeIndex index) {
+  MNode& node = nodes_[index];
+  const size_t p = pivots_->num_pivots();
+  node.ring_min.assign(p, std::numeric_limits<double>::infinity());
+  node.ring_max.assign(p, -std::numeric_limits<double>::infinity());
+  if (node.is_leaf) {
+    for (const MLeafEntry& e : node.objects) {
+      const double* row = pivots_->Row(e.object);
+      for (size_t k = 0; k < p; ++k) {
+        node.ring_min[k] = std::min(node.ring_min[k], row[k]);
+        node.ring_max[k] = std::max(node.ring_max[k], row[k]);
+      }
+    }
+  } else {
+    for (MNodeIndex c : node.children) {
+      BuildRings(c);
+      const MNode& child = nodes_[c];
+      for (size_t k = 0; k < p; ++k) {
+        node.ring_min[k] = std::min(node.ring_min[k], child.ring_min[k]);
+        node.ring_max[k] = std::max(node.ring_max[k], child.ring_max[k]);
+      }
+    }
+  }
 }
 
 /// Priority traversal over M-tree subtrees ordered by the lower bound
@@ -557,6 +594,12 @@ class MTreeStream : public CandidateStream {
       : tree_(tree), point_(std::move(point)),
         metric_(tree->metric_), stats_(stats) {
     metric_.set_stats(stats_);
+    if (tree_->pivots_ != nullptr) {
+      // Hyper-ring cuts need dist(q, P_k); charged per stream as
+      // pivot_dist_computations — the per-query setup cost of the filter.
+      tree_->pivots_->QueryDists(point_, *tree_->metric_, stats_,
+                                 &query_pivot_dists_);
+    }
     queue_.push({0.0, tree_->root_, 0.0, false});
   }
 
@@ -586,6 +629,7 @@ class MTreeStream : public CandidateStream {
             continue;
           }
         }
+        if (RingCut(child, query_dist)) continue;
         const double d = metric_.Distance(
             point_, tree_->dataset_->object(child.routing_object));
         const double lb = std::max(0.0, d - child.radius);
@@ -596,6 +640,30 @@ class MTreeStream : public CandidateStream {
   }
 
  private:
+  /// PM-tree hyper-ring cut: every object of `child`'s subtree lies within
+  /// [ring_min_k, ring_max_k] of pivot P_k, so
+  /// d(q,P_k) - query_dist > ring_max_k (subtree entirely inside the
+  /// query's pivot ball, too close to the pivot) or
+  /// d(q,P_k) + query_dist < ring_min_k (entirely outside) proves every
+  /// subtree object farther than query_dist — strictly, so boundary
+  /// objects survive. One charged pivot_tries per evaluated pivot; a cut
+  /// charges one pivot_avoided (the skipped routing-object distance).
+  bool RingCut(const MNode& child, double query_dist) {
+    if (query_pivot_dists_.empty() || child.ring_min.empty() ||
+        std::isinf(query_dist)) {
+      return false;
+    }
+    for (size_t k = 0; k < query_pivot_dists_.size(); ++k) {
+      if (stats_ != nullptr) ++stats_->pivot_tries;
+      if (query_pivot_dists_[k] - query_dist > child.ring_max[k] ||
+          query_pivot_dists_[k] + query_dist < child.ring_min[k]) {
+        if (stats_ != nullptr) ++stats_->pivot_avoided;
+        return true;
+      }
+    }
+    return false;
+  }
+
   struct Item {
     double lower_bound;
     MNodeIndex node;
@@ -613,6 +681,8 @@ class MTreeStream : public CandidateStream {
   Vec point_;
   CountingMetric metric_;
   QueryStats* stats_;
+  /// dist(q, P_k) for the attached pivot table; empty when none.
+  std::vector<double> query_pivot_dists_;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
 };
 

@@ -133,6 +133,11 @@ class MTreeBackend : public QueryBackend {
     metrics_sink_ = sink;
     layout_.SetMetricsSink(sink);
   }
+  /// Keeps the table and builds per-subtree hyper-rings from its rows (see
+  /// MNode::ring_min); search then cuts whole subtrees whose ring lies
+  /// outside the query annulus before computing the routing-object
+  /// distance. A table that does not describe this dataset is ignored.
+  void AttachPivots(std::shared_ptr<const PivotTable> pivots) override;
 
   // --- introspection ---------------------------------------------------
   MTreeShape Shape() const;
@@ -158,6 +163,9 @@ class MTreeBackend : public QueryBackend {
                                     size_t count, ObjectId old_routing,
                                     const std::vector<ObjectId>& entry_objs);
   void Finalize();
+  /// Rebuilds every subtree's hyper-rings from pivots_ (post-order, no
+  /// distance computations). No-op without an attached table.
+  void BuildRings(MNodeIndex node);
   Status CheckSubtree(MNodeIndex node, size_t depth, size_t* leaf_depth,
                       size_t* objects_seen);
   /// Max distance from `routing` to anything in the subtree (exact,
@@ -173,6 +181,7 @@ class MTreeBackend : public QueryBackend {
   MNodeIndex root_ = kInvalidMNode;
   size_t num_objects_indexed_ = 0;
 
+  std::shared_ptr<const PivotTable> pivots_;
   bool finalized_ = false;
   DataLayout layout_;
   const obs::MetricsSink* metrics_sink_ = nullptr;

@@ -45,6 +45,13 @@ struct MNode {
   std::vector<MLeafEntry> objects;
   /// Data page of a finalized leaf.
   PageId page = kInvalidPageId;
+  /// PM-tree-style hyper-rings: for each pivot P_k of the attached
+  /// PivotTable, the min/max of dist(O, P_k) over every object O in this
+  /// subtree. Derived bottom-up from the table's precomputed rows (zero
+  /// distance computations) and consulted during descent; empty when no
+  /// table is attached. Not persisted — rebuilt on attach.
+  std::vector<double> ring_min;
+  std::vector<double> ring_max;
 };
 
 }  // namespace msq

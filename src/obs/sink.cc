@@ -17,6 +17,15 @@ MetricsSink::MetricsSink(MetricsRegistry* registry, Tracer* tracer)
   counters_.triangle_avoided = registry_->GetCounter(
       "msq_engine_triangle_avoided_total",
       "Distance computations avoided via Lemma 1 / Lemma 2");
+  counters_.pivot_dist_computations = registry_->GetCounter(
+      "msq_engine_pivot_dist_computations_total",
+      "Query-to-pivot setup distances of the LAESA pivot filter");
+  counters_.pivot_tries = registry_->GetCounter(
+      "msq_engine_pivot_tries_total",
+      "Pivot lower-bound inequalities evaluated (page filter + hyper-rings)");
+  counters_.pivot_avoided = registry_->GetCounter(
+      "msq_engine_pivot_avoided_total",
+      "Distance computations avoided by pivot lower bounds / ring cuts");
   counters_.kernel_batches = registry_->GetCounter(
       "msq_kernel_batches_total",
       "Batched distance evaluations issued by the page kernel");
@@ -60,6 +69,9 @@ void MetricsSink::PublishQueryStats(const QueryStats& delta) const {
   counters_.matrix_dist_computations->Add(delta.matrix_dist_computations);
   counters_.triangle_tries->Add(delta.triangle_tries);
   counters_.triangle_avoided->Add(delta.triangle_avoided);
+  counters_.pivot_dist_computations->Add(delta.pivot_dist_computations);
+  counters_.pivot_tries->Add(delta.pivot_tries);
+  counters_.pivot_avoided->Add(delta.pivot_avoided);
   counters_.kernel_batches->Add(delta.kernel_batches);
   counters_.kernel_batched_dists->Add(delta.kernel_batched_dists);
   counters_.kernel_speculative_dists->Add(delta.kernel_speculative_dists);

@@ -49,6 +49,9 @@ class MetricsSink {
     Counter* matrix_dist_computations = nullptr;
     Counter* triangle_tries = nullptr;
     Counter* triangle_avoided = nullptr;
+    Counter* pivot_dist_computations = nullptr;
+    Counter* pivot_tries = nullptr;
+    Counter* pivot_avoided = nullptr;
     Counter* kernel_batches = nullptr;
     Counter* kernel_batched_dists = nullptr;
     Counter* kernel_speculative_dists = nullptr;

@@ -143,6 +143,9 @@ class FaultInjectingBackend : public QueryBackend {
   void SetMetricsSink(const obs::MetricsSink* sink) override {
     inner_->SetMetricsSink(sink);
   }
+  void AttachPivots(std::shared_ptr<const PivotTable> pivots) override {
+    inner_->AttachPivots(std::move(pivots));
+  }
   DataLayout* MutableLayout() override { return inner_->MutableLayout(); }
   Status SaveIndex(std::ostream& out) override {
     return inner_->SaveIndex(out);

@@ -1,0 +1,213 @@
+// Stats-exact regression tests for CanAvoidDistance's try accounting (one
+// inequality evaluated = one `triangle_tries`, the paper's avoiding_tries)
+// and for the witness cap (a capped scan charges exactly 2 * max_witnesses
+// tries — the cap check runs before a witness is charged), plus a
+// shifting-window stress test that drives QueryDistanceCache across its
+// compaction threshold and checks no index issued by the current Prepare
+// ever reads a stale or remapped row.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/avoidance.h"
+#include "core/database.h"
+#include "core/distance_matrix.h"
+#include "core/multi_query.h"
+#include "dataset/generators.h"
+#include "dist/builtin_metrics.h"
+#include "dist/counting_metric.h"
+#include "tests/test_util.h"
+
+namespace msq {
+namespace {
+
+using testing::BruteForceQuery;
+using testing::SameAnswers;
+
+/// A cache holding two 1-d query objects at x = 0 and x = 10, so
+/// dist(Q0, Q1) = 10 exactly. Returns their cache indices.
+struct TwoQueryCache {
+  QueryDistanceCache cache;
+  uint32_t q0, q1;
+
+  TwoQueryCache() {
+    CountingMetric metric(std::make_shared<EuclideanMetric>());
+    std::vector<Query> queries(2);
+    queries[0] = Query{/*id=*/1, Vec{0.0f}, QueryType::Range(1.0)};
+    queries[1] = Query{/*id=*/2, Vec{10.0f}, QueryType::Range(1.0)};
+    std::vector<uint32_t> indices;
+    cache.Prepare(queries, metric, &indices);
+    q0 = indices[0];
+    q1 = indices[1];
+  }
+};
+
+// Lemma 1 fires on the first inequality of the first witness: exactly one
+// try and one avoided, never a second (Lemma 2) try for the same witness.
+TEST(AvoidanceTriesTest, Lemma1SuccessChargesExactlyOneTry) {
+  TwoQueryCache c;
+  QueryStats stats;
+  // dist(O, Q0) = 100 > qq + query_dist = 10 + 1.
+  std::vector<KnownQueryDistance> known = {{c.q0, 100.0}};
+  EXPECT_TRUE(CanAvoidDistance(c.cache, known, c.q1, 1.0, &stats));
+  EXPECT_EQ(stats.triangle_tries, 1u);
+  EXPECT_EQ(stats.triangle_avoided, 1u);
+}
+
+// Lemma 2 fires only after Lemma 1 was evaluated and failed: two tries.
+TEST(AvoidanceTriesTest, Lemma2SuccessChargesExactlyTwoTries) {
+  TwoQueryCache c;
+  QueryStats stats;
+  // Lemma 1: 2 > 10 + 1 fails; Lemma 2: 10 > 2 + 1 succeeds.
+  std::vector<KnownQueryDistance> known = {{c.q0, 2.0}};
+  EXPECT_TRUE(CanAvoidDistance(c.cache, known, c.q1, 1.0, &stats));
+  EXPECT_EQ(stats.triangle_tries, 2u);
+  EXPECT_EQ(stats.triangle_avoided, 1u);
+}
+
+// A witness that proves nothing charges both of its inequalities.
+TEST(AvoidanceTriesTest, FailedWitnessChargesExactlyTwoTries) {
+  TwoQueryCache c;
+  QueryStats stats;
+  // Lemma 1: 10 > 11 fails; Lemma 2: 10 > 11 fails.
+  std::vector<KnownQueryDistance> known = {{c.q0, 10.0}};
+  EXPECT_FALSE(CanAvoidDistance(c.cache, known, c.q1, 1.0, &stats));
+  EXPECT_EQ(stats.triangle_tries, 2u);
+  EXPECT_EQ(stats.triangle_avoided, 0u);
+}
+
+// The premises are strict: equality proves only dist >= query_dist, and an
+// object exactly at the query distance can still qualify, so no avoidance.
+TEST(AvoidanceTriesTest, ExactBoundaryWitnessDoesNotAvoid) {
+  TwoQueryCache c;
+  QueryStats stats;
+  // Lemma 1 premise at equality: 12 > 10 + 2 is false.
+  std::vector<KnownQueryDistance> known = {{c.q0, 12.0}};
+  EXPECT_FALSE(CanAvoidDistance(c.cache, known, c.q1, 2.0, &stats));
+  // Lemma 2 premise at equality: qq = dist + query_dist -> 10 > 8 + 2 false.
+  known = {{c.q0, 8.0}};
+  EXPECT_FALSE(CanAvoidDistance(c.cache, known, c.q1, 2.0, &stats));
+  EXPECT_EQ(stats.triangle_avoided, 0u);
+}
+
+// The cap check runs before a witness is charged: a failed scan of a list
+// longer than the cap charges exactly 2 * max_witnesses tries — no stray
+// try for witness max_witnesses + 1.
+TEST(AvoidanceTriesTest, WitnessCapChargesExactlyTwiceTheCap) {
+  TwoQueryCache c;
+  for (size_t cap : {size_t{1}, size_t{3}, kDefaultMaxWitnesses, size_t{16}}) {
+    QueryStats stats;
+    // cap + 5 all-failing witnesses (each would charge 2 tries uncapped).
+    std::vector<KnownQueryDistance> known(cap + 5,
+                                          KnownQueryDistance{c.q0, 10.0});
+    EXPECT_FALSE(CanAvoidDistance(c.cache, known, c.q1, 1.0, &stats, cap));
+    EXPECT_EQ(stats.triangle_tries, 2 * cap) << "cap=" << cap;
+    EXPECT_EQ(stats.triangle_avoided, 0u);
+  }
+}
+
+// Cap zero disables avoidance outright: nothing examined, nothing charged,
+// even when the first witness would have succeeded.
+TEST(AvoidanceTriesTest, ZeroCapChargesNothing) {
+  TwoQueryCache c;
+  QueryStats stats;
+  std::vector<KnownQueryDistance> known = {{c.q0, 100.0}};
+  EXPECT_FALSE(CanAvoidDistance(c.cache, known, c.q1, 1.0, &stats,
+                                /*max_witnesses=*/0));
+  EXPECT_EQ(stats.triangle_tries, 0u);
+  EXPECT_EQ(stats.triangle_avoided, 0u);
+}
+
+// An unsaturated kNN query (infinite query distance) can never be avoided
+// and must not be charged for the attempt.
+TEST(AvoidanceTriesTest, InfiniteQueryDistanceChargesNothing) {
+  TwoQueryCache c;
+  QueryStats stats;
+  std::vector<KnownQueryDistance> known = {{c.q0, 100.0}};
+  EXPECT_FALSE(CanAvoidDistance(c.cache, known, c.q1,
+                                std::numeric_limits<double>::infinity(),
+                                &stats));
+  EXPECT_EQ(stats.triangle_tries, 0u);
+}
+
+// The engine default and the library-wide default are the same constant —
+// the config drift this suite pins against.
+TEST(AvoidanceTriesTest, EngineDefaultMatchesLibraryDefault) {
+  EXPECT_EQ(MultiQueryOptions{}.avoidance_max_witnesses, kDefaultMaxWitnesses);
+}
+
+// --- shifting-window compaction stress ----------------------------------
+
+// Slide a window of 4 queries over 40 distinct query objects with a tiny
+// compaction threshold: every Prepare past the threshold compacts and
+// renumbers, and every index it issues must still read the exact pairwise
+// distance (ASan catches any stale row access).
+TEST(AvoidanceCompactionStressTest, IndicesValidAfterEveryCompaction) {
+  CountingMetric metric(std::make_shared<EuclideanMetric>());
+  QueryDistanceCache cache(/*compact_threshold=*/8);
+
+  std::vector<Query> all;
+  for (uint64_t i = 0; i < 40; ++i) {
+    all.push_back(Query{/*id=*/100 + i,
+                        Vec{static_cast<float>(i * 3.5), static_cast<float>(i)},
+                        QueryType::Range(1.0)});
+  }
+  const size_t kWindow = 4;
+  for (size_t start = 0; start + kWindow <= all.size(); ++start) {
+    std::span<const Query> window(all.data() + start, kWindow);
+    std::vector<uint32_t> indices;
+    cache.Prepare(window, metric, &indices);
+    ASSERT_EQ(indices.size(), kWindow);
+    for (size_t a = 0; a < kWindow; ++a) {
+      for (size_t b = 0; b < kWindow; ++b) {
+        const double expected = metric.base().Distance(window[a].point,
+                                                       window[b].point);
+        ASSERT_EQ(cache.Dist(indices[a], indices[b]), expected)
+            << "window start " << start << " pair (" << a << "," << b << ")";
+      }
+    }
+    // The cache never grows past threshold + window (compaction works).
+    ASSERT_LE(cache.size(), 8u + kWindow);
+  }
+}
+
+// Full-engine variant: shifting windows through MultipleSimilarityQuery
+// drive the engine's own cache (threshold = max_batch_size * 2 + 64) across
+// compaction, with avoidance armed; every completed primary answer must
+// match the brute-force oracle.
+TEST(AvoidanceCompactionStressTest, EngineWindowsSurviveCompaction) {
+  Dataset dataset = MakeGaussianClustersDataset(500, 6, 5, 0.1, 83);
+  DatabaseOptions options;
+  options.backend = BackendKind::kLinearScan;
+  options.page_size_bytes = 1024;
+  options.multi.max_batch_size = 4;  // compaction threshold = 72
+  auto db = MetricDatabase::Open(dataset, std::make_shared<EuclideanMetric>(),
+                                 options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EuclideanMetric oracle_metric;
+
+  // 120 distinct query objects, window of 4: crosses the threshold many
+  // times; each call's primary answer is complete and checkable.
+  std::vector<Query> all;
+  for (ObjectId id = 0; id < 120; ++id) {
+    all.push_back((*db)->MakeObjectKnnQuery(id, 8));
+  }
+  for (size_t start = 0; start + 4 <= all.size(); start += 1) {
+    std::vector<Query> window(all.begin() + start, all.begin() + start + 4);
+    auto result = (*db)->MultipleSimilarityQuery(window);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->status.ok());
+    EXPECT_TRUE(SameAnswers(
+        result->answers[0],
+        BruteForceQuery(dataset, oracle_metric, window[0])))
+        << "window start " << start;
+  }
+}
+
+}  // namespace
+}  // namespace msq

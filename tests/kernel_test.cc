@@ -286,7 +286,8 @@ TEST(KernelPageKernelTest, BatchedMatchesScalarReference) {
       }
       ScopedStatsSink sink(metric, stats);
       kernel.ProcessPage(block, active, metric, /*cache=*/nullptr,
-                         /*max_witnesses=*/0, use_batched, stats);
+                         /*max_witnesses=*/0, /*pivots=*/nullptr, use_batched,
+                         stats);
     }
     EXPECT_EQ(batched_stats.dist_computations, scalar_stats.dist_computations);
     EXPECT_GT(batched_stats.kernel_batches, 0u);
