@@ -1,0 +1,76 @@
+// CowChunkedVec: a chunked copy-on-write vector for LiveVersion state.
+//
+// The online-mutability layer keeps the delta segment, tombstone bitmap
+// and appended pivot rows inside immutable LiveVersion snapshots; every
+// insert or delete produces the *next* snapshot without touching the one
+// concurrent readers hold. A plain std::vector would make each mutation
+// O(n) (full copy); this container stores elements in fixed-size chunks
+// behind shared_ptrs, so the next version shares every untouched chunk
+// with its predecessor and copies exactly one:
+//
+//   PushBack  — copies (or extends in place, when unshared) the last chunk
+//   Set       — copies the chunk holding the index
+//
+// Copying the container itself copies only the chunk-pointer table,
+// O(n / kChunk). Single-writer discipline is assumed for mutation (the
+// database's writer mutex); concurrent readers of *other* snapshots are
+// safe because a shared chunk is never written — `use_count() == 1` is
+// the in-place-extension test, and only the one writer creates or drops
+// references during a mutation.
+
+#ifndef MSQ_CORE_COW_VEC_H_
+#define MSQ_CORE_COW_VEC_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace msq {
+
+template <typename T>
+class CowChunkedVec {
+ public:
+  static constexpr size_t kChunk = 64;
+
+  CowChunkedVec() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    return (*chunks_[i / kChunk])[i % kChunk];
+  }
+
+  /// Appends `v`. Copies the last chunk iff it is shared with another
+  /// snapshot; a run of appends by one writer between publishes extends
+  /// the same private chunk in place.
+  void PushBack(T v) {
+    const size_t c = size_ / kChunk;
+    if (c == chunks_.size()) {
+      chunks_.push_back(std::make_shared<std::vector<T>>());
+      chunks_.back()->reserve(kChunk);
+    } else if (chunks_[c].use_count() > 1) {
+      chunks_[c] = std::make_shared<std::vector<T>>(*chunks_[c]);
+    }
+    chunks_[c]->push_back(std::move(v));
+    ++size_;
+  }
+
+  /// Overwrites element `i`, copying its chunk iff shared.
+  void Set(size_t i, T v) {
+    const size_t c = i / kChunk;
+    if (chunks_[c].use_count() > 1) {
+      chunks_[c] = std::make_shared<std::vector<T>>(*chunks_[c]);
+    }
+    (*chunks_[c])[i % kChunk] = std::move(v);
+  }
+
+ private:
+  std::vector<std::shared_ptr<std::vector<T>>> chunks_;
+  size_t size_ = 0;
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_COW_VEC_H_

@@ -1,6 +1,8 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <sstream>
+#include <string>
 
 #include "common/serialize.h"
 #include "core/single_query.h"
@@ -15,6 +17,62 @@ namespace {
 // Database metadata blob ("meta" object of the page store).
 constexpr uint32_t kDbMetaTag = 0x4d535142;  // "MSQB"
 constexpr uint32_t kDbMetaVersion = 1;
+
+/// Builds the base backend for `dataset` — the switch Open and Compact
+/// share — and applies the fault-injection wrap, so a compacted base has
+/// exactly the wiring of a freshly opened one.
+StatusOr<std::unique_ptr<QueryBackend>> BuildBaseBackend(
+    const std::shared_ptr<const Dataset>& dataset,
+    const std::shared_ptr<const Metric>& metric,
+    const DatabaseOptions& options) {
+  std::unique_ptr<QueryBackend> backend;
+  switch (options.backend) {
+    case BackendKind::kLinearScan: {
+      LinearScanOptions scan_options;
+      scan_options.page_size_bytes = options.page_size_bytes;
+      scan_options.buffer_fraction = options.buffer_fraction;
+      auto built = LinearScanBackend::Build(dataset, scan_options);
+      if (!built.ok()) return built.status();
+      backend = std::move(built).value();
+      break;
+    }
+    case BackendKind::kXTree: {
+      XTreeOptions xtree_options = options.xtree;
+      xtree_options.page_size_bytes = options.page_size_bytes;
+      xtree_options.buffer_fraction = options.buffer_fraction;
+      auto built = options.xtree_dynamic_build
+                       ? XTreeBackend::BuildByInsertion(dataset, metric,
+                                                        xtree_options)
+                       : XTreeBackend::BulkLoad(dataset, metric, xtree_options);
+      if (!built.ok()) return built.status();
+      backend = std::move(built).value();
+      break;
+    }
+    case BackendKind::kMTree: {
+      MTreeOptions mtree_options = options.mtree;
+      mtree_options.page_size_bytes = options.page_size_bytes;
+      mtree_options.buffer_fraction = options.buffer_fraction;
+      auto built = MTreeBackend::Build(dataset, metric, mtree_options);
+      if (!built.ok()) return built.status();
+      backend = std::move(built).value();
+      break;
+    }
+    case BackendKind::kVaFile: {
+      VaFileOptions va_options = options.va_file;
+      va_options.page_size_bytes = options.page_size_bytes;
+      va_options.buffer_fraction = options.buffer_fraction;
+      auto built = VaFileBackend::Build(dataset, metric, va_options);
+      if (!built.ok()) return built.status();
+      backend = std::move(built).value();
+      break;
+    }
+  }
+  if (options.fault_injector != nullptr) {
+    backend = std::make_unique<robust::FaultInjectingBackend>(
+        std::move(backend), options.fault_injector);
+  }
+  return backend;
+}
 
 }  // namespace
 
@@ -55,48 +113,9 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
   auto db = std::unique_ptr<MetricDatabase>(
       new MetricDatabase(shared, metric, options));
 
-  switch (options.backend) {
-    case BackendKind::kLinearScan: {
-      LinearScanOptions scan_options;
-      scan_options.page_size_bytes = options.page_size_bytes;
-      scan_options.buffer_fraction = options.buffer_fraction;
-      auto built = LinearScanBackend::Build(shared, scan_options);
-      if (!built.ok()) return built.status();
-      db->backend_ = std::move(built).value();
-      break;
-    }
-    case BackendKind::kXTree: {
-      XTreeOptions xtree_options = options.xtree;
-      xtree_options.page_size_bytes = options.page_size_bytes;
-      xtree_options.buffer_fraction = options.buffer_fraction;
-      auto built = options.xtree_dynamic_build
-                       ? XTreeBackend::BuildByInsertion(shared, metric,
-                                                        xtree_options)
-                       : XTreeBackend::BulkLoad(shared, metric, xtree_options);
-      if (!built.ok()) return built.status();
-      db->backend_ = std::move(built).value();
-      break;
-    }
-    case BackendKind::kMTree: {
-      MTreeOptions mtree_options = options.mtree;
-      mtree_options.page_size_bytes = options.page_size_bytes;
-      mtree_options.buffer_fraction = options.buffer_fraction;
-      auto built = MTreeBackend::Build(shared, metric, mtree_options);
-      if (!built.ok()) return built.status();
-      db->backend_ = std::move(built).value();
-      break;
-    }
-    case BackendKind::kVaFile: {
-      VaFileOptions va_options = options.va_file;
-      va_options.page_size_bytes = options.page_size_bytes;
-      va_options.buffer_fraction = options.buffer_fraction;
-      auto built = VaFileBackend::Build(shared, metric, va_options);
-      if (!built.ok()) return built.status();
-      db->backend_ = std::move(built).value();
-      break;
-    }
-  }
-  db->WireEngine();
+  auto built = BuildBaseBackend(shared, metric, options);
+  if (!built.ok()) return built.status();
+  db->WireEngine(std::move(built).value());
   if (options.pivots.enabled) {
     auto table = PivotTable::Build(*shared, *metric, options.pivots.table);
     if (!table.ok()) return table.status();
@@ -106,23 +125,210 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
 }
 
 void MetricDatabase::ArmPivots(std::shared_ptr<const PivotTable> table) {
-  pivots_ = std::move(table);
-  engine_->AttachPivots(pivots_);
-  backend_->AttachPivots(pivots_);
+  // MutableBackend::AttachPivots publishes the table into the current
+  // version (generation unchanged: pre-query wiring) and forwards it to
+  // the base for its index-side structures.
+  engine_->AttachPivots(table);
+  backend_->AttachPivots(std::move(table));
 }
 
-void MetricDatabase::WireEngine() {
-  if (options_.fault_injector != nullptr) {
-    backend_ = std::make_unique<robust::FaultInjectingBackend>(
-        std::move(backend_), options_.fault_injector);
-  }
+void MetricDatabase::WireEngine(std::unique_ptr<QueryBackend> base) {
+  auto overlay = std::make_unique<MutableBackend>(
+      std::shared_ptr<QueryBackend>(std::move(base)), dataset_);
+  overlay_ = overlay.get();
+  backend_ = std::move(overlay);
   engine_ = std::make_unique<MultiQueryEngine>(backend_.get(), metric_,
                                                options_.multi);
   // The storage side (buffer pool) shares the engine's observability sink.
   backend_->SetMetricsSink(options_.multi.metrics);
+  if (options_.multi.metrics != nullptr &&
+      options_.multi.metrics->registry() != nullptr) {
+    obs::MetricsRegistry* reg = options_.multi.metrics->registry();
+    mutation_metrics_.inserts =
+        reg->GetCounter("msq_inserts_total", "Objects inserted");
+    mutation_metrics_.deletes =
+        reg->GetCounter("msq_deletes_total", "Objects tombstoned");
+    mutation_metrics_.compactions =
+        reg->GetCounter("msq_compactions_total", "Overlay compactions");
+    mutation_metrics_.tombstones_live =
+        reg->GetGauge("msq_tombstones_live", "Tombstones awaiting compaction");
+    mutation_metrics_.delta_objects =
+        reg->GetGauge("msq_delta_objects", "Delta-segment objects");
+    mutation_metrics_.epoch_reclaim_lag = reg->GetGauge(
+        "msq_epoch_reclaim_lag",
+        "Epochs between the oldest unreclaimed version and the current epoch");
+  }
+}
+
+void MetricDatabase::PublishMutationGauges(const LiveVersion& v) {
+  if (mutation_metrics_.tombstones_live != nullptr) {
+    mutation_metrics_.tombstones_live->Set(
+        static_cast<int64_t>(v.tomb_count));
+    mutation_metrics_.delta_objects->Set(
+        static_cast<int64_t>(v.delta.size()));
+    mutation_metrics_.epoch_reclaim_lag->Set(
+        static_cast<int64_t>(overlay_->epochs().ReclaimLagEpochs()));
+  }
+}
+
+void MetricDatabase::BeginRead(ReadSession* session) {
+  session->guard = overlay_->epochs().Pin();
+  session->version = overlay_->Current();
+  session->overlay = overlay_;
+  overlay_->InstallActive(session->version);
+  if (session->version->generation != engine_generation_) {
+    // The version moved under the engine: buffered partial answers may
+    // cite tombstoned objects and delta pseudo-pages change composition
+    // as the delta grows, so all buffered state is invalid. Unmutated
+    // databases never take this branch.
+    engine_->Reset();
+    engine_->AttachPivots(session->version->pivots);
+    engine_generation_ = session->version->generation;
+  }
+}
+
+std::shared_ptr<const LiveVersion> MetricDatabase::CurrentVersion() const {
+  return overlay_->Current();
+}
+
+StatusOr<ObjectId> MetricDatabase::Insert(Vec point, int32_t label) {
+  if (point.size() != dataset_->dim()) {
+    return Status::InvalidArgument("inserted object has dimension " +
+                                   std::to_string(point.size()) +
+                                   ", database has " +
+                                   std::to_string(dataset_->dim()));
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const LiveVersion> cur = overlay_->Current();
+  if (cur->total_objects() + 1 >= static_cast<size_t>(kInvalidObjectId)) {
+    return Status::ResourceExhausted("object id space exhausted");
+  }
+  auto next = std::make_shared<LiveVersion>(*cur);
+  const ObjectId id = static_cast<ObjectId>(next->total_objects());
+  if (next->pivots != nullptr) {
+    // Maintain, don't rebuild: one appended row keeps the filter
+    // bit-correct for the new object (PivotTable::WithAppendedRow).
+    next->pivots = next->pivots->WithAppendedRow(point, *metric_);
+  }
+  next->delta.PushBack(std::move(point));
+  next->delta_labels.PushBack(label);
+  ++next->generation;
+  PublishMutationGauges(*next);
+  overlay_->Publish(std::move(next));
+  if (mutation_metrics_.inserts != nullptr) {
+    mutation_metrics_.inserts->Increment();
+  }
+  return id;
+}
+
+Status MetricDatabase::Delete(ObjectId id) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const LiveVersion> cur = overlay_->Current();
+  if (static_cast<size_t>(id) >= cur->total_objects()) {
+    return Status::InvalidArgument("object id out of range");
+  }
+  if (cur->tombstoned(id)) {
+    return Status::InvalidArgument("object is already deleted");
+  }
+  if (cur->live_objects() == 1) {
+    return Status::InvalidArgument("cannot delete the last live object");
+  }
+  auto next = std::make_shared<LiveVersion>(*cur);
+  while (next->tombstones.size() <= static_cast<size_t>(id)) {
+    next->tombstones.PushBack(0);
+  }
+  next->tombstones.Set(id, 1);
+  ++next->tomb_count;
+  ++next->generation;
+  PublishMutationGauges(*next);
+  overlay_->Publish(std::move(next));
+  if (mutation_metrics_.deletes != nullptr) {
+    mutation_metrics_.deletes->Increment();
+  }
+  return Status::OK();
+}
+
+Status MetricDatabase::Compact() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return CompactLocked();
+}
+
+Status MetricDatabase::CompactLocked() {
+  std::shared_ptr<const LiveVersion> cur = overlay_->Current();
+  if (!cur->has_overlay()) return Status::OK();
+
+  // Survivors in base order, then insertion order: the id mapping after a
+  // compaction is "position among survivors".
+  std::vector<Vec> objects;
+  std::vector<int32_t> labels;
+  objects.reserve(cur->live_objects());
+  bool want_labels = cur->base_dataset->has_labels();
+  for (size_t i = 0; i < cur->delta.size() && !want_labels; ++i) {
+    want_labels = cur->delta_labels[i] != kNoLabel;
+  }
+  for (size_t id = 0; id < cur->base_n; ++id) {
+    if (cur->tombstoned(id)) continue;
+    objects.push_back(cur->base_dataset->object(static_cast<ObjectId>(id)));
+    if (want_labels) {
+      labels.push_back(cur->base_dataset->label(static_cast<ObjectId>(id)));
+    }
+  }
+  for (size_t i = 0; i < cur->delta.size(); ++i) {
+    if (cur->tombstoned(cur->base_n + i)) continue;
+    objects.push_back(cur->delta[i]);
+    if (want_labels) labels.push_back(cur->delta_labels[i]);
+  }
+  if (objects.empty()) {
+    return Status::Internal("no live objects to compact");
+  }
+  Dataset compacted(dataset_->dim(), std::move(objects));
+  if (want_labels) compacted.set_labels(std::move(labels));
+  auto shared = std::make_shared<Dataset>(std::move(compacted));
+
+  auto built = BuildBaseBackend(shared, metric_, options_);
+  if (!built.ok()) return built.status();
+  std::shared_ptr<QueryBackend> base(std::move(built).value());
+
+  std::shared_ptr<const PivotTable> pivots;
+  if (cur->pivots != nullptr) {
+    // Re-selected over the survivor set with the configured options —
+    // exactly what a fresh build of the same objects would arm, which is
+    // what the quiesced-equality guarantee promises.
+    auto table = PivotTable::Build(*shared, *metric_, options_.pivots.table);
+    if (!table.ok()) return table.status();
+    pivots = std::shared_ptr<const PivotTable>(std::move(table).value());
+    base->AttachPivots(pivots);
+  }
+  base->SetMetricsSink(overlay_->metrics_sink());
+
+  auto next = std::make_shared<LiveVersion>();
+  next->base_n = shared->size();
+  const size_t base_pages = std::max<size_t>(1, base->NumDataPages());
+  next->delta_page_cap =
+      std::max<size_t>(1, (next->base_n + base_pages - 1) / base_pages);
+  next->base = std::move(base);
+  next->base_dataset = shared;
+  next->pivots = std::move(pivots);
+  next->generation = cur->generation + 1;
+  PublishMutationGauges(*next);
+  overlay_->Publish(std::move(next));
+  if (mutation_metrics_.compactions != nullptr) {
+    mutation_metrics_.compactions->Increment();
+    mutation_metrics_.epoch_reclaim_lag->Set(
+        static_cast<int64_t>(overlay_->epochs().ReclaimLagEpochs()));
+  }
+  return Status::OK();
 }
 
 Status MetricDatabase::Save(const std::string& path) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // A mutated database compacts first: the page store persists bases, not
+  // overlays, and the compacted base is storeless even when the previous
+  // base came from a store — so a reopened database can be mutated and
+  // saved to a new path.
+  MSQ_RETURN_IF_ERROR(CompactLocked());
+  std::shared_ptr<const LiveVersion> cur = overlay_->Current();
+  const Dataset& data = *cur->base_dataset;
   // Serialize the index blob first: for the trees this finalizes the lazy
   // page layout, so the page map SaveToStore writes below is exactly the
   // one the blob describes.
@@ -144,18 +350,18 @@ Status MetricDatabase::Save(const std::string& path) {
   // file front to back.
   MSQ_RETURN_IF_ERROR(layout->SaveToStore(store.get()));
   MSQ_RETURN_IF_ERROR(store->PutObject("index", index.str()));
-  if (dataset_->has_labels()) {
+  if (data.has_labels()) {
     std::ostringstream labels;
-    MSQ_RETURN_IF_ERROR(WriteVector(labels, dataset_->labels()));
+    MSQ_RETURN_IF_ERROR(WriteVector(labels, data.labels()));
     MSQ_RETURN_IF_ERROR(store->PutObject("labels", labels.str()));
   }
-  if (pivots_ != nullptr) {
+  if (cur->pivots != nullptr) {
     // The pivot table is part of the database: a reopened file filters
     // with exactly the pivots (and counters) the saved one did. Presence
     // of the "pivots" object is the arming flag — the meta format is
     // unchanged, so stores without pivots stay readable as before.
     std::ostringstream pivots;
-    MSQ_RETURN_IF_ERROR(pivots_->SaveTo(pivots));
+    MSQ_RETURN_IF_ERROR(cur->pivots->SaveTo(pivots));
     MSQ_RETURN_IF_ERROR(store->PutObject("pivots", pivots.str()));
   }
   std::ostringstream meta;
@@ -164,8 +370,8 @@ Status MetricDatabase::Save(const std::string& path) {
   MSQ_RETURN_IF_ERROR(
       WriteU32(meta, static_cast<uint32_t>(options_.backend)));
   MSQ_RETURN_IF_ERROR(WriteString(meta, metric_->Name()));
-  MSQ_RETURN_IF_ERROR(WriteU32(meta, static_cast<uint32_t>(dataset_->dim())));
-  MSQ_RETURN_IF_ERROR(WriteU64(meta, dataset_->size()));
+  MSQ_RETURN_IF_ERROR(WriteU32(meta, static_cast<uint32_t>(data.dim())));
+  MSQ_RETURN_IF_ERROR(WriteU64(meta, data.size()));
   MSQ_RETURN_IF_ERROR(WriteU64(meta, options_.page_size_bytes));
   MSQ_RETURN_IF_ERROR(WriteF64(meta, options_.buffer_fraction));
   MSQ_RETURN_IF_ERROR(WriteU32(meta, options_.xtree_dynamic_build ? 1 : 0));
@@ -257,11 +463,12 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
   std::string index_bytes;
   MSQ_RETURN_IF_ERROR(store->GetObject("index", &index_bytes));
   std::istringstream index(index_bytes);
+  std::unique_ptr<QueryBackend> base;
   switch (kind) {
     case BackendKind::kLinearScan: {
       auto loaded = LinearScanBackend::LoadIndex(index, shared);
       if (!loaded.ok()) return loaded.status();
-      db->backend_ = std::move(loaded).value();
+      base = std::move(loaded).value();
       break;
     }
     case BackendKind::kXTree: {
@@ -271,7 +478,7 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
       auto loaded = XTreeBackend::LoadFrom(index, shared, metric,
                                            xtree_options);
       if (!loaded.ok()) return loaded.status();
-      db->backend_ = std::move(loaded).value();
+      base = std::move(loaded).value();
       break;
     }
     case BackendKind::kMTree: {
@@ -281,13 +488,13 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
       auto loaded = MTreeBackend::LoadFrom(index, shared, metric,
                                            mtree_options);
       if (!loaded.ok()) return loaded.status();
-      db->backend_ = std::move(loaded).value();
+      base = std::move(loaded).value();
       break;
     }
     case BackendKind::kVaFile: {
       auto loaded = VaFileBackend::LoadIndex(index, shared, metric);
       if (!loaded.ok()) return loaded.status();
-      db->backend_ = std::move(loaded).value();
+      base = std::move(loaded).value();
       break;
     }
   }
@@ -313,12 +520,16 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
 
   // Route page reads through the file (MutableLayout finalizes the trees,
   // reproducing the page map the store's directory was written against).
-  DataLayout* layout = db->backend_->MutableLayout();
+  DataLayout* layout = base->MutableLayout();
   if (layout == nullptr) {
     return Status::Internal("reopened backend has no data layout");
   }
   MSQ_RETURN_IF_ERROR(layout->AttachStore(std::move(store)));
-  db->WireEngine();
+  if (options.fault_injector != nullptr) {
+    base = std::make_unique<robust::FaultInjectingBackend>(
+        std::move(base), options.fault_injector);
+  }
+  db->WireEngine(std::move(base));
   if (pivot_table != nullptr) db->ArmPivots(std::move(pivot_table));
   return db;
 }
@@ -337,16 +548,19 @@ Query MetricDatabase::MakeBoundedKnnQuery(Vec point, size_t k, double eps) {
 }
 
 Query MetricDatabase::MakeObjectKnnQuery(ObjectId id, size_t k) const {
-  return Query{static_cast<QueryId>(id), dataset_->object(id),
+  // Through the backend, so delta-tier (inserted) objects resolve too.
+  return Query{static_cast<QueryId>(id), backend_->ObjectVec(id),
                QueryType::Knn(k)};
 }
 
 Query MetricDatabase::MakeObjectRangeQuery(ObjectId id, double eps) const {
-  return Query{static_cast<QueryId>(id), dataset_->object(id),
+  return Query{static_cast<QueryId>(id), backend_->ObjectVec(id),
                QueryType::Range(eps)};
 }
 
 StatusOr<AnswerSet> MetricDatabase::SimilarityQuery(const Query& query) {
+  ReadSession session;
+  BeginRead(&session);
   CountingMetric counted(metric_);
   // The single-query engine does not publish metrics itself (the multiple-
   // query engine does); bridge its stats delta to the registry here so
@@ -357,7 +571,7 @@ StatusOr<AnswerSet> MetricDatabase::SimilarityQuery(const Query& query) {
                        "engine.single_query", "engine");
   auto result =
       ExecuteSingleQuery(backend_.get(), counted, query, &stats_,
-                         pivots_.get());
+                         session.version->pivots.get());
   if (span.active()) {
     span.AddArg("dists",
                 static_cast<double>(stats_.dist_computations -
@@ -373,16 +587,22 @@ StatusOr<AnswerSet> MetricDatabase::SimilarityQuery(const Query& query) {
 
 StatusOr<MultiQueryResult> MetricDatabase::MultipleSimilarityQuery(
     const std::vector<Query>& queries) {
+  ReadSession session;
+  BeginRead(&session);
   return engine_->Execute(queries, &stats_);
 }
 
 StatusOr<std::vector<AnswerSet>> MetricDatabase::MultipleSimilarityQueryAll(
     const std::vector<Query>& queries) {
+  ReadSession session;
+  BeginRead(&session);
   return engine_->ExecuteAll(queries, &stats_);
 }
 
 StatusOr<BatchResult> MetricDatabase::MultipleSimilarityQueryAllPartial(
     const std::vector<Query>& queries) {
+  ReadSession session;
+  BeginRead(&session);
   return engine_->ExecuteAllPartial(queries, &stats_);
 }
 

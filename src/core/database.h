@@ -5,11 +5,22 @@
 //   similarity_query          (Definition 1, Figure 1)
 //   multiple_similarity_query (Definition 4, Figure 4)
 // plus cumulative cost statistics under a calibrated cost model.
+//
+// Since PR 9 the lifecycle is mutable (DESIGN.md §13): Insert/Delete may
+// run concurrent with query traffic (single writer at a time, queries
+// externally serialized among themselves), Compact folds the accumulated
+// overlay into a fresh base build, and Save persists the compacted state.
+// Each query call pins an epoch and runs against one immutable
+// LiveVersion snapshot; an unmutated database behaves bit-identically to
+// the pre-refactor build-once one.
 
 #ifndef MSQ_CORE_DATABASE_H_
 #define MSQ_CORE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,11 +28,13 @@
 #include "common/status.h"
 #include "core/backend.h"
 #include "core/multi_query.h"
+#include "core/mutable_backend.h"
 #include "core/pivot_table.h"
 #include "core/query.h"
 #include "dataset/dataset.h"
 #include "dist/metric.h"
 #include "mtree/mtree.h"
+#include "obs/metrics.h"
 #include "scan/linear_scan.h"
 #include "scan/va_file.h"
 #include "xtree/xtree.h"
@@ -134,6 +147,36 @@ class MetricDatabase {
   StatusOr<BatchResult> MultipleSimilarityQueryAllPartial(
       const std::vector<Query>& queries);
 
+  // --- online mutability (DESIGN §13) -----------------------------------
+  // Writers are serialized against each other internally and may run
+  // concurrent with the (externally serialized) query stream. Ids are
+  // dense and stable between compactions; Compact renumbers survivors
+  // (base order, then insertion order) — callers holding object ids
+  // across a Compact must re-resolve them.
+
+  /// Appends an object to the in-memory delta segment. Queries observe it
+  /// from the next call on. Returns the new object's id.
+  StatusOr<ObjectId> Insert(Vec point, int32_t label = kNoLabel);
+
+  /// Tombstones an object (base or delta tier). The last live object
+  /// cannot be deleted (an empty database cannot be compacted or rebuilt).
+  Status Delete(ObjectId id);
+
+  /// Folds delta + tombstones into a fresh base build (same backend kind,
+  /// options, pivot configuration and fault wiring), publishing it as the
+  /// next version. Queries in flight finish on their pinned snapshot.
+  /// No-op when nothing was mutated.
+  Status Compact();
+
+  /// The snapshot queries would run against right now.
+  std::shared_ptr<const LiveVersion> CurrentVersion() const;
+  size_t NumLiveObjects() const { return CurrentVersion()->live_objects(); }
+  size_t NumDeltaObjects() const { return CurrentVersion()->delta.size(); }
+  size_t NumTombstones() const { return CurrentVersion()->tomb_count; }
+  uint64_t MutationGeneration() const { return CurrentVersion()->generation; }
+  /// The reader-epoch machinery (introspection: limbo depth, reclaim lag).
+  EpochManager& epochs() { return overlay_->epochs(); }
+
   // --- accounting -------------------------------------------------------
   const QueryStats& stats() const { return stats_; }
   void ResetStats() { stats_ = QueryStats(); }
@@ -150,14 +193,21 @@ class MetricDatabase {
   }
 
   // --- access -----------------------------------------------------------
+  /// The dataset the database was opened with (the original base; stable
+  /// across mutations — the *current* object set is
+  /// CurrentVersion()->base_dataset plus its delta).
   const Dataset& dataset() const { return *dataset_; }
   const Metric& metric() const { return *metric_; }
   std::shared_ptr<const Metric> metric_ptr() const { return metric_; }
   std::shared_ptr<const Dataset> dataset_ptr() const { return dataset_; }
+  /// The mutability decorator (delegates to the current version's base).
   QueryBackend& backend() { return *backend_; }
   MultiQueryEngine& engine() { return *engine_; }
-  /// The armed pivot table; null when pivot filtering is off.
-  std::shared_ptr<const PivotTable> pivot_table() const { return pivots_; }
+  /// The armed pivot table of the current version; null when pivot
+  /// filtering is off.
+  std::shared_ptr<const PivotTable> pivot_table() const {
+    return CurrentVersion()->pivots;
+  }
   const CostModel& cost_model() const { return options_.cost_model; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -166,22 +216,61 @@ class MetricDatabase {
                  std::shared_ptr<const Metric> metric,
                  DatabaseOptions options);
 
-  /// Shared tail of both Open overloads: wraps the backend in the fault
-  /// injector (when configured), builds the multi-query engine, and wires
-  /// the observability sink. Requires backend_ to be set.
-  void WireEngine();
+  /// One database-level read call: an epoch pin plus the snapshot every
+  /// backend access of the call resolves against. Construction also
+  /// re-wires the engine (buffer reset + pivot attach) when the version
+  /// generation moved since the engine was last wired.
+  struct ReadSession {
+    EpochManager::Guard guard;
+    std::shared_ptr<const LiveVersion> version;
+    MutableBackend* overlay = nullptr;
+    ReadSession() = default;
+    ReadSession(const ReadSession&) = delete;
+    ReadSession& operator=(const ReadSession&) = delete;
+    ~ReadSession() {
+      if (overlay != nullptr) overlay->ClearActive();
+    }
+  };
+  void BeginRead(ReadSession* session);
+
+  /// Shared tail of both Open overloads: wraps the base backend (already
+  /// fault-wrapped by BuildBaseBackend) in the mutability layer, builds
+  /// the multi-query engine, and wires the observability sink.
+  void WireEngine(std::unique_ptr<QueryBackend> base);
 
   /// Arms `table` on the engine and the backend (both see the same table).
   void ArmPivots(std::shared_ptr<const PivotTable> table);
 
+  /// Compact() body; callers hold writer_mu_.
+  Status CompactLocked();
+
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const Metric> metric_;
   DatabaseOptions options_;
-  std::unique_ptr<QueryBackend> backend_;
+  std::unique_ptr<QueryBackend> backend_;  // the MutableBackend decorator
+  MutableBackend* overlay_ = nullptr;      // owned by backend_
   std::unique_ptr<MultiQueryEngine> engine_;
-  std::shared_ptr<const PivotTable> pivots_;
   QueryStats stats_;
-  QueryId next_query_id_;
+  std::atomic<QueryId> next_query_id_;
+
+  /// Serializes Insert/Delete/Compact/Save against each other (writers
+  /// never block queries).
+  std::mutex writer_mu_;
+  /// Generation the engine was last wired for; query-side state, touched
+  /// only under the external query serialization.
+  uint64_t engine_generation_ = 0;
+
+  struct MutationInstruments {
+    obs::Counter* inserts = nullptr;
+    obs::Counter* deletes = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Gauge* tombstones_live = nullptr;
+    obs::Gauge* delta_objects = nullptr;
+    obs::Gauge* epoch_reclaim_lag = nullptr;
+  };
+  MutationInstruments mutation_metrics_;
+  /// Updates the mutation gauges from `v` (no-op without a registry).
+  void PublishMutationGauges(const LiveVersion& v);
 };
 
 }  // namespace msq

@@ -1,0 +1,86 @@
+#include "core/epoch.h"
+
+#include <limits>
+#include <vector>
+
+namespace msq {
+
+EpochManager::EpochManager() {
+  for (auto& s : slots_) s.store(0);
+}
+
+void EpochManager::Guard::Release() {
+  if (mgr_ == nullptr) return;
+  if (slot_ == kNoSlot) {
+    mgr_->unslotted_.fetch_sub(1);
+  } else {
+    mgr_->slots_[slot_].store(0);
+  }
+  mgr_ = nullptr;
+}
+
+EpochManager::Guard EpochManager::Pin() {
+  // Claim a free slot, then (re)publish the epoch read *after* claiming:
+  // once the slot is visible the writer's MinActiveEpoch includes us, and
+  // a subsequent seq_cst load of the version pointer cannot observe a
+  // version retired before our published epoch.
+  for (size_t i = 0; i < kReaderSlots; ++i) {
+    uint64_t expected = 0;
+    if (slots_[i].compare_exchange_strong(expected, ~uint64_t{0})) {
+      slots_[i].store(epoch_.load());
+      return Guard(this, i, slots_[i].load());
+    }
+  }
+  unslotted_.fetch_add(1);
+  return Guard(this, Guard::kNoSlot, epoch_.load());
+}
+
+void EpochManager::Retire(std::shared_ptr<const void> retired) {
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    limbo_.push_back(LimboEntry{epoch_.load(), std::move(retired)});
+  }
+  epoch_.fetch_add(1);
+  Reclaim();
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  if (unslotted_.load() != 0) return 0;  // unknown pins: assume the oldest
+  uint64_t min_epoch = std::numeric_limits<uint64_t>::max();
+  for (const auto& s : slots_) {
+    const uint64_t v = s.load();
+    // ~0 marks a slot mid-claim whose epoch is not yet published; it will
+    // be at least the current epoch, so it never lowers the minimum below
+    // a completed retirement.
+    if (v != 0 && v != ~uint64_t{0} && v < min_epoch) min_epoch = v;
+  }
+  return min_epoch;
+}
+
+size_t EpochManager::Reclaim() {
+  const uint64_t min_active = MinActiveEpoch();
+  // Destroy outside the lock: a reclaimed version's destructor can be a
+  // whole index teardown.
+  std::vector<std::shared_ptr<const void>> freed;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    while (!limbo_.empty() && limbo_.front().retire_epoch < min_active) {
+      freed.push_back(std::move(limbo_.front().object));
+      limbo_.pop_front();
+    }
+  }
+  return freed.size();
+}
+
+size_t EpochManager::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+uint64_t EpochManager::ReclaimLagEpochs() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  if (limbo_.empty()) return 0;
+  return epoch_.load() - limbo_.front().retire_epoch;
+}
+
+}  // namespace msq

@@ -1,0 +1,124 @@
+// EpochManager: epoch-based (RCU/QSBR-style) deferred reclamation for the
+// online-mutability layer.
+//
+// Readers pin the current epoch for the duration of one database-level
+// call and traverse an immutable LiveVersion snapshot; the single writer
+// publishes a new version, retires the old one into a limbo list stamped
+// with the retirement epoch, and advances the global epoch. A retired
+// version is reclaimed (its last reference dropped) only once every active
+// reader pin is strictly newer than the retirement epoch — a reader that
+// pinned at epoch e can only have loaded versions retired at epoch >= e,
+// so the rule `retire_epoch < min(active pin epochs)` is conservative.
+//
+// The versions themselves are shared_ptr-managed, so limbo holds plain
+// `shared_ptr<const void>` aliases: reclamation here releases the *limbo*
+// reference; any still-outstanding reference (a stream holding its
+// snapshot) keeps the object alive beyond the epoch machinery. Epochs
+// bound *when* the write path lets go, shared_ptr guarantees it is never
+// too early. `msq_epoch_reclaim_lag` (see obs) exports the age of the
+// oldest unreclaimed retirement in epochs.
+//
+// Concurrency: Pin/Release are lock-free over a fixed slot array and may
+// run from any number of reader threads; Retire/Reclaim are writer-side
+// and internally locked (single logical writer, but safe if two writers
+// race). All epoch/slot accesses are seq_cst — a pin happens at most once
+// per database-level call, so the ordering cost is irrelevant next to one
+// page read.
+
+#ifndef MSQ_CORE_EPOCH_H_
+#define MSQ_CORE_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace msq {
+
+class EpochManager {
+ public:
+  /// Fixed number of concurrent reader pins tracked precisely. Overflow
+  /// pins (more simultaneous readers than slots) fall back to a counter
+  /// that conservatively blocks all reclamation while nonzero.
+  static constexpr size_t kReaderSlots = 64;
+
+  /// RAII reader pin. Move-only; releasing (or destroying) un-pins.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept { *this = std::move(o); }
+    Guard& operator=(Guard&& o) noexcept {
+      Release();
+      mgr_ = o.mgr_;
+      slot_ = o.slot_;
+      epoch_ = o.epoch_;
+      o.mgr_ = nullptr;
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    bool active() const { return mgr_ != nullptr; }
+    uint64_t epoch() const { return epoch_; }
+    void Release();
+
+   private:
+    friend class EpochManager;
+    static constexpr size_t kNoSlot = ~size_t{0};
+    Guard(EpochManager* mgr, size_t slot, uint64_t epoch)
+        : mgr_(mgr), slot_(slot), epoch_(epoch) {}
+
+    EpochManager* mgr_ = nullptr;
+    size_t slot_ = kNoSlot;
+    uint64_t epoch_ = 0;
+  };
+
+  EpochManager();
+
+  /// Pins the current epoch. Never blocks; overflowing kReaderSlots only
+  /// delays reclamation, never correctness.
+  Guard Pin();
+
+  /// Writer side: parks `retired` in limbo stamped with the current epoch,
+  /// advances the epoch, and reclaims whatever became eligible. The
+  /// shared_ptr's deleter runs at reclamation time if limbo held the last
+  /// reference.
+  void Retire(std::shared_ptr<const void> retired);
+
+  /// Releases every limbo entry whose retirement epoch is older than all
+  /// active pins. Returns the number of entries released. Called from
+  /// Retire; exposed for tests and for draining limbo at quiesce.
+  size_t Reclaim();
+
+  uint64_t epoch() const { return epoch_.load(); }
+  /// Oldest active pin epoch, or UINT64_MAX when no reader is pinned.
+  uint64_t MinActiveEpoch() const;
+  size_t limbo_size() const;
+  /// Age (in epochs) of the oldest unreclaimed retirement; 0 when limbo is
+  /// empty. Exported as the msq_epoch_reclaim_lag gauge.
+  uint64_t ReclaimLagEpochs() const;
+
+ private:
+  friend class Guard;
+
+  // Epochs start at 1 so a slot value of 0 can mean "free".
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> slots_[kReaderSlots];
+  /// Pins that found no free slot; while nonzero, reclamation is paused
+  /// (their epochs are unknown, so the minimum is conservatively 0).
+  std::atomic<uint64_t> unslotted_{0};
+
+  struct LimboEntry {
+    uint64_t retire_epoch;
+    std::shared_ptr<const void> object;
+  };
+  mutable std::mutex limbo_mu_;
+  std::deque<LimboEntry> limbo_;  // ascending retire_epoch
+};
+
+}  // namespace msq
+
+#endif  // MSQ_CORE_EPOCH_H_

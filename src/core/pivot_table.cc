@@ -83,15 +83,29 @@ StatusOr<std::unique_ptr<PivotTable>> PivotTable::Build(
     table->pivot_points_.push_back(dataset.object(id));
   }
   const size_t p = table->num_pivots_;
-  table->rows_.resize(n * p);
+  auto rows = std::make_shared<std::vector<double>>(n * p);
   for (ObjectId o = 0; o < n; ++o) {
-    double* row = table->rows_.data() + static_cast<size_t>(o) * p;
+    double* row = rows->data() + static_cast<size_t>(o) * p;
     const Vec& obj = dataset.object(o);
     for (size_t k = 0; k < p; ++k) {
       row[k] = metric.Distance(table->pivot_points_[k], obj);
     }
   }
+  table->base_objects_ = n;
+  table->base_rows_ = std::move(rows);
   return table;
+}
+
+std::shared_ptr<const PivotTable> PivotTable::WithAppendedRow(
+    const Vec& point, const Metric& metric) const {
+  auto next = std::shared_ptr<PivotTable>(new PivotTable(*this));
+  std::vector<double> row(num_pivots_);
+  for (size_t k = 0; k < num_pivots_; ++k) {
+    row[k] = metric.Distance(pivot_points_[k], point);
+  }
+  next->extra_rows_.PushBack(std::move(row));
+  ++next->num_objects_;
+  return next;
 }
 
 void PivotTable::QueryDists(const Vec& q, const Metric& metric,
@@ -110,7 +124,15 @@ Status PivotTable::SaveTo(std::ostream& out) const {
   MSQ_RETURN_IF_ERROR(WriteU32(out, static_cast<uint32_t>(num_pivots_)));
   MSQ_RETURN_IF_ERROR(WriteU64(out, num_objects_));
   MSQ_RETURN_IF_ERROR(WriteVector(out, pivot_ids_));
-  MSQ_RETURN_IF_ERROR(WriteVector(out, rows_));
+  // Flattened base + appended rows: the loaded table is single-tier again
+  // (in practice Save compacts first, so the extension is usually empty).
+  std::vector<double> rows = *base_rows_;
+  rows.reserve(num_objects_ * num_pivots_);
+  for (size_t i = base_objects_; i < num_objects_; ++i) {
+    const double* row = Row(static_cast<ObjectId>(i));
+    rows.insert(rows.end(), row, row + num_pivots_);
+  }
+  MSQ_RETURN_IF_ERROR(WriteVector(out, rows));
   if (!out) return Status::IOError("write failed (pivot table)");
   return Status::OK();
 }
@@ -134,13 +156,16 @@ StatusOr<std::unique_ptr<PivotTable>> PivotTable::LoadFrom(
   auto table = std::unique_ptr<PivotTable>(new PivotTable());
   table->num_pivots_ = p;
   table->num_objects_ = static_cast<size_t>(n);
+  table->base_objects_ = table->num_objects_;
   MSQ_RETURN_IF_ERROR(ReadVector(in, &table->pivot_ids_));
-  MSQ_RETURN_IF_ERROR(ReadVector(in, &table->rows_));
+  auto rows = std::make_shared<std::vector<double>>();
+  MSQ_RETURN_IF_ERROR(ReadVector(in, rows.get()));
+  table->base_rows_ = std::move(rows);
   if (in.peek() != std::istream::traits_type::eof()) {
     return Status::Corruption("trailing bytes after pivot table");
   }
   if (table->pivot_ids_.size() != p ||
-      table->rows_.size() != table->num_objects_ * p) {
+      table->base_rows_->size() != table->num_objects_ * p) {
     return Status::Corruption("pivot table arrays disagree with its header");
   }
   for (ObjectId id : table->pivot_ids_) {

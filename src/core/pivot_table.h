@@ -41,6 +41,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "core/cow_vec.h"
 #include "dataset/dataset.h"
 #include "dist/metric.h"
 
@@ -58,7 +59,17 @@ struct PivotTableOptions {
 
 /// Immutable global pivot set plus the n x p matrix of precomputed
 /// object-to-pivot distances, row-major per object. Thread-safe for
-/// concurrent reads once built (it is never mutated after Build/LoadFrom).
+/// concurrent reads once built (it is never mutated after
+/// Build/LoadFrom/WithAppendedRow).
+///
+/// Under online mutability the matrix is two-tier: the build-time base
+/// rows live in one shared block, and rows for objects inserted since sit
+/// in a chunked copy-on-write extension — WithAppendedRow derives the
+/// next table version sharing the base (and all untouched extension
+/// chunks) with its predecessor, so the filter stays bit-correct across
+/// inserts without an n x p rebuild. Deleted objects need no masking
+/// here: tombstoned ids never reach the kernel, and a stale row is just
+/// unread memory until compaction rebuilds the table.
 class PivotTable {
  public:
   /// Selects pivots by maxmin over a sample and precomputes every
@@ -77,8 +88,18 @@ class PivotTable {
 
   /// Precomputed dist(O, P_k) for k < num_pivots(), contiguous.
   const double* Row(ObjectId id) const {
-    return rows_.data() + static_cast<size_t>(id) * num_pivots_;
+    const size_t i = static_cast<size_t>(id);
+    if (i < base_objects_) return base_rows_->data() + i * num_pivots_;
+    return extra_rows_[i - base_objects_].data();
   }
+
+  /// Derives the table covering one more object (id = num_objects()) whose
+  /// feature vector is `point`: the p object-to-pivot distances are
+  /// computed here (uncharged — index maintenance, like Build) and
+  /// appended; everything else is shared with this table. O(p) plus one
+  /// chunk copy.
+  std::shared_ptr<const PivotTable> WithAppendedRow(const Vec& point,
+                                                    const Metric& metric) const;
 
   /// Computes dist(q, P_k) for every pivot into `*out` (resized), charging
   /// num_pivots() `pivot_dist_computations` to `stats` (may be null). Takes
@@ -101,12 +122,19 @@ class PivotTable {
 
  private:
   PivotTable() = default;
+  PivotTable(const PivotTable&) = default;  // WithAppendedRow's base copy
 
   size_t num_pivots_ = 0;
-  size_t num_objects_ = 0;
+  size_t num_objects_ = 0;   // base_objects_ + extra_rows_.size()
+  size_t base_objects_ = 0;  // rows in base_rows_
   std::vector<ObjectId> pivot_ids_;
   std::vector<Vec> pivot_points_;  // cached dataset rows of pivot_ids_
-  std::vector<double> rows_;       // num_objects_ x num_pivots_, row-major
+  /// Build-time rows, base_objects_ x num_pivots_ row-major, shared across
+  /// table versions.
+  std::shared_ptr<const std::vector<double>> base_rows_;
+  /// One row (num_pivots_ doubles) per object inserted since the base was
+  /// built, chunk-shared across versions.
+  CowChunkedVec<std::vector<double>> extra_rows_;
 };
 
 /// Tries to prove dist(O, Q) > query_dist from one object's pivot row and

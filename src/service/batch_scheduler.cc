@@ -45,9 +45,21 @@ BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
   } else {
     options_.max_batch_size = std::max<size_t>(options_.max_batch_size, 1);
   }
+  // Lanes that carry an SLO are fixed by the options, so their completion
+  // rings can be set up once here; completions on other lanes are never
+  // sampled.
+  auto register_lane = [this](const TenantOptions& t) {
+    if (t.slo_p99.count() <= 0) return;
+    LaneSlo& lane = lane_slos_[t.lane];
+    if (lane.slo.count() <= 0 || t.slo_p99 < lane.slo) lane.slo = t.slo_p99;
+    lane.ring.resize(kSloWindow, 0.0);
+  };
+  register_lane(options_.default_tenant);
+  for (const auto& [name, tenant] : options_.tenants) register_lane(tenant);
   if (options_.metrics != nullptr) {
     tracer_ = options_.metrics->tracer();
     if (obs::MetricsRegistry* reg = options_.metrics->registry()) {
+      registry_ = reg;
       queue_depth_ = reg->GetGauge("msq_scheduler_queue_depth",
                                    "Distinct queries pending admission");
       inflight_gauge_ =
@@ -64,6 +76,10 @@ BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
       shed_total_ = reg->GetCounter(
           "msq_scheduler_shed_total",
           "New queries shed by the max_pending overload bound");
+      slo_shed_total_ = reg->GetCounter(
+          "msq_scheduler_slo_shed_total",
+          "Lower-priority queries shed while a higher-priority lane ran "
+          "over its p99 SLO");
       static const char* const kReasonLabels[4] = {
           "reason=\"size\"", "reason=\"deadline\"", "reason=\"explicit\"",
           "reason=\"drain\""};
@@ -108,6 +124,33 @@ BatchScheduler::BatchScheduler(MultiQueryEngine* engine, ThreadPool* pool,
 BatchScheduler::~BatchScheduler() { Shutdown(); }
 
 AnswerFuture BatchScheduler::Submit(Query query) {
+  return Submit(std::move(query), std::string());
+}
+
+const TenantOptions& BatchScheduler::TenantPolicy(
+    const std::string& tenant) const {
+  auto it = options_.tenants.find(tenant);
+  return it == options_.tenants.end() ? options_.default_tenant : it->second;
+}
+
+bool BatchScheduler::SloPressureLocked(int lane) const {
+  for (const auto& [slo_lane, state] : lane_slos_) {
+    if (slo_lane >= lane) break;  // std::map: lanes ascend, priority falls
+    if (state.slo.count() <= 0) continue;
+    if (state.count < std::max<size_t>(1, options_.slo_min_samples)) continue;
+    // p99 of the ring's valid prefix; <=128 doubles, so the copy +
+    // nth_element under mu_ is cheap even on the submit path.
+    std::vector<double> samples(state.ring.begin(),
+                                state.ring.begin() + state.count);
+    const size_t idx =
+        static_cast<size_t>(static_cast<double>(samples.size() - 1) * 0.99);
+    std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
+    if (samples[idx] > static_cast<double>(state.slo.count())) return true;
+  }
+  return false;
+}
+
+AnswerFuture BatchScheduler::Submit(Query query, const std::string& tenant) {
   std::promise<StatusOr<AnswerSet>> promise;
   AnswerFuture future = promise.get_future();
   std::lock_guard<std::mutex> lock(mu_);
@@ -135,7 +178,7 @@ AnswerFuture BatchScheduler::Submit(Query query) {
         "BatchScheduler has neither an engine nor an executor"));
     return future;
   }
-  auto it = pending_index_.find(query.id);
+  auto it = pending_index_.find(TenantKey{tenant, query.id});
   if (it != pending_index_.end()) {
     Pending& entry = pending_[it->second];
     if (SameDefinition(entry.query, query)) {
@@ -169,6 +212,41 @@ AnswerFuture BatchScheduler::Submit(Query query) {
         std::to_string(options_.max_pending) + ")"));
     return future;
   }
+  const TenantOptions& policy = TenantPolicy(tenant);
+  if (policy.max_pending > 0) {
+    auto load = tenant_load_.find(tenant);
+    if (load != tenant_load_.end() && load->second >= policy.max_pending) {
+      // The tenant's own quota, not the scheduler's: other tenants keep
+      // being admitted while this one is shed back to its budget.
+      ++queries_shed_;
+      ++tenant_shed_counts_[tenant];
+      if (shed_total_ != nullptr) shed_total_->Increment();
+      if (registry_ != nullptr) {
+        registry_
+            ->GetCounter("msq_scheduler_tenant_shed_total",
+                         "New queries shed by a tenant's own quota",
+                         "tenant=\"" + tenant + "\"")
+            ->Increment();
+      }
+      promise.set_value(Status::ResourceExhausted(
+          "tenant \"" + tenant + "\" overloaded: " +
+          std::to_string(load->second) + " queries in flight (max_pending=" +
+          std::to_string(policy.max_pending) + ")"));
+      return future;
+    }
+  }
+  if (!lane_slos_.empty() && SloPressureLocked(policy.lane)) {
+    // Some higher-priority lane promised a p99 and is currently missing
+    // it: new lower-priority work is what we can still refuse.
+    ++queries_shed_;
+    ++queries_shed_slo_;
+    if (shed_total_ != nullptr) shed_total_->Increment();
+    if (slo_shed_total_ != nullptr) slo_shed_total_->Increment();
+    promise.set_value(Status::ResourceExhausted(
+        "shed: a higher-priority lane is over its p99 SLO (tenant \"" +
+        tenant + "\", lane " + std::to_string(policy.lane) + ")"));
+    return future;
+  }
   if (options_.admission_check) {
     // Backend-health gate (e.g. a cluster that lost quorum): shed new work
     // the backend could only answer partially, with the gate's own status.
@@ -187,11 +265,14 @@ AnswerFuture BatchScheduler::Submit(Query query) {
     // (oldest) entry.
     deadline_cv_.notify_all();
   }
-  pending_index_.emplace(query.id, pending_.size());
+  pending_index_.emplace(TenantKey{tenant, query.id}, pending_.size());
+  ++tenant_load_[tenant];
   Pending entry;
   entry.query = std::move(query);
   entry.promises.push_back(std::move(promise));
   entry.submit_time = std::chrono::steady_clock::now();
+  entry.tenant = tenant;
+  entry.lane = policy.lane;
   pending_.push_back(std::move(entry));
   if (queue_depth_ != nullptr) queue_depth_->Add(1);
   if (pending_.size() >= options_.max_batch_size) {
@@ -224,11 +305,46 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
   if (obs::Counter* c = flush_reason_counters_[static_cast<int>(reason)]) {
     c->Increment();
   }
+  // One batch per lane (highest priority — lowest lane number — first, so
+  // it reaches the pool queue first), each bounded by max_batch_size and
+  // never holding the same QueryId twice: the same id submitted by two
+  // tenants is two distinct queries, and the engine's duplicate-id
+  // validation must never see them side by side. The stable sort keeps
+  // submission order within a lane.
+  std::stable_sort(
+      pending_.begin(), pending_.end(),
+      [](const Pending& a, const Pending& b) { return a.lane < b.lane; });
+  size_t begin = 0;
+  while (begin < pending_.size()) {
+    std::vector<QueryId> batch_ids;
+    size_t end = begin;
+    while (end < pending_.size() && end - begin < options_.max_batch_size &&
+           pending_[end].lane == pending_[begin].lane &&
+           std::find(batch_ids.begin(), batch_ids.end(),
+                     pending_[end].query.id) == batch_ids.end()) {
+      batch_ids.push_back(pending_[end].query.id);
+      ++end;
+    }
+    auto batch = std::make_shared<std::vector<Pending>>();
+    batch->reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      batch->push_back(std::move(pending_[i]));
+    }
+    begin = end;
+    DispatchLocked(std::move(batch), flush_time);
+  }
+  pending_.clear();
+  pending_index_.clear();
+}
+
+void BatchScheduler::DispatchLocked(
+    std::shared_ptr<std::vector<Pending>> batch,
+    std::chrono::steady_clock::time_point flush_time) {
   if (batch_size_ != nullptr) {
-    batch_size_->Observe(static_cast<double>(pending_.size()));
+    batch_size_->Observe(static_cast<double>(batch->size()));
   }
   if (admission_wait_micros_ != nullptr) {
-    for (const Pending& entry : pending_) {
+    for (const Pending& entry : *batch) {
       admission_wait_micros_->Observe(
           MicrosSince(entry.submit_time, flush_time));
     }
@@ -239,16 +355,13 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
     obs::TraceEvent event;
     event.name = "scheduler.admission_wait";
     event.category = "scheduler";
-    event.dur_micros = MicrosSince(pending_.front().submit_time, flush_time);
+    event.dur_micros = MicrosSince(batch->front().submit_time, flush_time);
     event.ts_micros = tracer_->NowMicros() - event.dur_micros;
     event.tid = obs::Tracer::CurrentThreadId();
     event.arg_keys[0] = "m";
-    event.arg_values[0] = static_cast<double>(pending_.size());
+    event.arg_values[0] = static_cast<double>(batch->size());
     tracer_->Record(event);
   }
-  auto batch = std::make_shared<std::vector<Pending>>(std::move(pending_));
-  pending_.clear();
-  pending_index_.clear();
   ++inflight_batches_;
   inflight_queries_ += batch->size();
   if (queue_depth_ != nullptr) queue_depth_->Sub(batch->size());
@@ -313,6 +426,22 @@ void BatchScheduler::FlushLocked(FlushReason reason) {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_batches_;
     inflight_queries_ -= batch->size();
+    for (const Pending& entry : *batch) {
+      // Release the tenant's quota slot and, if the entry's lane carries
+      // an SLO, record its end-to-end latency in the lane's ring — the
+      // window SloPressureLocked judges future admissions by.
+      auto load = tenant_load_.find(entry.tenant);
+      if (load != tenant_load_.end() && --load->second == 0) {
+        tenant_load_.erase(load);
+      }
+      auto lane = lane_slos_.find(entry.lane);
+      if (lane != lane_slos_.end()) {
+        LaneSlo& state = lane->second;
+        state.ring[state.next] = MicrosSince(entry.submit_time, done_time);
+        state.next = (state.next + 1) % state.ring.size();
+        if (state.count < state.ring.size()) ++state.count;
+      }
+    }
     ++batches_executed_;
     done_cv_.notify_all();
   });
@@ -448,6 +577,17 @@ uint64_t BatchScheduler::queries_rejected() const {
 uint64_t BatchScheduler::queries_shed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queries_shed_;
+}
+
+uint64_t BatchScheduler::queries_shed_tenant(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_shed_counts_.find(tenant);
+  return it == tenant_shed_counts_.end() ? 0 : it->second;
+}
+
+uint64_t BatchScheduler::queries_shed_slo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_shed_slo_;
 }
 
 uint64_t BatchScheduler::batches_executed() const {

@@ -7,6 +7,8 @@
 //   msq_cli dbscan   data=/tmp/astro.bin eps=0.08 min_pts=6
 //   msq_cli save     data=/tmp/astro.bin backend=xtree db=/tmp/astro.msq
 //   msq_cli query    db=/tmp/astro.msq k=10 object=42
+//   msq_cli insert   db=/tmp/astro.msq data=/tmp/new.bin
+//   msq_cli delete   db=/tmp/astro.msq ids=3,17,42
 //
 // The binary dataset format is produced/consumed by Dataset::SaveBinary /
 // LoadBinary; `generate` also accepts out=*.csv. `save` persists the built
@@ -14,7 +16,9 @@
 // subcommands reopen via db= without rebuilding; answers_out= dumps
 // answers as hex floats so reopened results can be diffed bit-for-bit.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -267,6 +271,93 @@ int CmdSave(int argc, char** argv) {
   return 0;
 }
 
+// Online mutation subcommands (DESIGN §13): mutate a *saved* database and
+// persist the result. Save compacts first, so the written file is always a
+// clean base build — reopening it never replays a delta.
+
+int CmdInsert(int argc, char** argv) {
+  Flags flags;
+  flags.Define("db", "db.msq", "saved page-store database to mutate");
+  flags.Define("data", "new.bin",
+               "dataset file (.bin or .csv) whose objects are inserted");
+  flags.Define("out", "", "write the mutated database here (default: db=)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  auto db = MetricDatabase::Open(flags.GetString("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto additions = LoadData(flags.GetString("data"));
+  if (!additions.ok()) return Fail(additions.status());
+  if (additions->dim() != (*db)->dataset().dim()) {
+    std::fprintf(stderr, "dimension mismatch: db is %zu-d, data is %zu-d\n",
+                 (*db)->dataset().dim(), additions->dim());
+    return 1;
+  }
+  WallTimer timer;
+  ObjectId first = 0, last = 0;
+  for (size_t i = 0; i < additions->size(); ++i) {
+    auto id = (*db)->Insert(additions->object(static_cast<ObjectId>(i)),
+                            additions->label(static_cast<ObjectId>(i)));
+    if (!id.ok()) return Fail(id.status());
+    if (i == 0) first = *id;
+    last = *id;
+  }
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = flags.GetString("db");
+  if (Status s = (*db)->Save(out); !s.ok()) return Fail(s);
+  std::printf(
+      "inserted %zu objects (ids %u..%u before compaction), "
+      "%zu live -> %s in %.1f ms\n",
+      additions->size(), first, last, (*db)->NumLiveObjects(), out.c_str(),
+      timer.ElapsedMillis());
+  return 0;
+}
+
+int CmdDelete(int argc, char** argv) {
+  Flags flags;
+  flags.Define("db", "db.msq", "saved page-store database to mutate");
+  flags.Define("ids", "", "comma-separated object ids to delete");
+  flags.Define("out", "", "write the mutated database here (default: db=)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  auto db = MetricDatabase::Open(flags.GetString("db"));
+  if (!db.ok()) return Fail(db.status());
+  const std::string ids = flags.GetString("ids");
+  if (ids.empty()) {
+    std::fprintf(stderr, "ids= is required (e.g. ids=3,17,42)\n");
+    return 1;
+  }
+  WallTimer timer;
+  size_t deleted = 0;
+  for (size_t pos = 0; pos < ids.size();) {
+    const size_t comma = std::min(ids.find(',', pos), ids.size());
+    const std::string token = ids.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      std::fprintf(stderr, "bad object id '%s'\n", token.c_str());
+      return 1;
+    }
+    if (Status s = (*db)->Delete(static_cast<ObjectId>(value)); !s.ok()) {
+      return Fail(s);
+    }
+    ++deleted;
+  }
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = flags.GetString("db");
+  if (Status s = (*db)->Save(out); !s.ok()) return Fail(s);
+  std::printf(
+      "deleted %zu objects, %zu live (ids renumbered by compaction) -> %s "
+      "in %.1f ms\n",
+      deleted, (*db)->NumLiveObjects(), out.c_str(), timer.ElapsedMillis());
+  return 0;
+}
+
 int CmdBatch(int argc, char** argv) {
   Flags flags;
   DefineDbFlags(&flags);
@@ -336,10 +427,10 @@ int CmdDbscan(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(
-        stderr,
-        "usage: %s <generate|info|query|batch|dbscan|save> [key=value...]\n",
-        argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <generate|info|query|batch|dbscan|save|insert|"
+                 "delete> [key=value...]\n",
+                 argv[0]);
     return 1;
   }
   const std::string command = argv[1];
@@ -351,6 +442,8 @@ int main(int argc, char** argv) {
   if (command == "batch") return CmdBatch(argc - 1, argv + 1);
   if (command == "dbscan") return CmdDbscan(argc - 1, argv + 1);
   if (command == "save") return CmdSave(argc - 1, argv + 1);
+  if (command == "insert") return CmdInsert(argc - 1, argv + 1);
+  if (command == "delete") return CmdDelete(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }
