@@ -1,6 +1,9 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
 #include <sstream>
 #include <string>
 
@@ -8,15 +11,43 @@
 #include "core/single_query.h"
 #include "dist/builtin_metrics.h"
 #include "robust/fault_injector.h"
+#include "storage/fs_util.h"
 #include "storage/page_file.h"
 
 namespace msq {
 
 namespace {
 
-// Database metadata blob ("meta" object of the page store).
+// Database metadata blob ("meta" object of the page store). Version 2
+// appends the checkpoint nonce (DESIGN §14); version-1 files (pre-WAL)
+// stay readable.
 constexpr uint32_t kDbMetaTag = 0x4d535142;  // "MSQB"
-constexpr uint32_t kDbMetaVersion = 1;
+constexpr uint32_t kDbMetaVersionV1 = 1;
+constexpr uint32_t kDbMetaVersion = 2;
+
+/// Fresh checkpoint nonce: random, never zero (0 means "no nonce").
+uint64_t GenerateCheckpointNonce() {
+  static std::random_device entropy;
+  const uint64_t mixed =
+      (static_cast<uint64_t>(entropy()) << 32) ^ entropy() ^
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  return mixed == 0 ? 1 : mixed;
+}
+
+/// Deterministic stand-in nonce for version-1 files, derived from the
+/// stored meta extent's CRC and the file's block count: stable across
+/// opens of the same file, different after any rewrite — exactly the
+/// properties WAL staleness detection needs.
+uint64_t LegacyNonceFor(const PageFile& store) {
+  auto it = store.objects().find("meta");
+  const uint64_t crc = it == store.objects().end() ? 0 : it->second.crc;
+  const uint64_t mixed = (crc << 24) ^ store.num_blocks();
+  return mixed == 0 ? 1 : mixed;
+}
+
+const std::string kWalSuffix = ".wal";
+const std::string kTmpSuffix = ".tmp";
 
 /// Builds the base backend for `dataset` — the switch Open and Compact
 /// share — and applies the fault-injection wrap, so a compacted base has
@@ -150,6 +181,13 @@ void MetricDatabase::WireEngine(std::unique_ptr<QueryBackend> base) {
         reg->GetCounter("msq_deletes_total", "Objects tombstoned");
     mutation_metrics_.compactions =
         reg->GetCounter("msq_compactions_total", "Overlay compactions");
+    mutation_metrics_.checkpoints = reg->GetCounter(
+        "msq_checkpoints_total", "Atomic checkpoints (WAL truncations)");
+    mutation_metrics_.recoveries = reg->GetCounter(
+        "msq_recoveries_total", "Opens that replayed a non-empty WAL");
+    mutation_metrics_.wal_replayed =
+        reg->GetCounter("msq_wal_replayed_records_total",
+                        "WAL records replayed during recovery");
     mutation_metrics_.tombstones_live =
         reg->GetGauge("msq_tombstones_live", "Tombstones awaiting compaction");
     mutation_metrics_.delta_objects =
@@ -203,6 +241,9 @@ StatusOr<ObjectId> MetricDatabase::Insert(Vec point, int32_t label) {
   if (cur->total_objects() + 1 >= static_cast<size_t>(kInvalidObjectId)) {
     return Status::ResourceExhausted("object id space exhausted");
   }
+  // Log before publish: a mutation the WAL could not make durable is
+  // rejected outright instead of living only in memory.
+  MSQ_RETURN_IF_ERROR(LogMutationLocked(WalRecord::Insert(point, label)));
   auto next = std::make_shared<LiveVersion>(*cur);
   const ObjectId id = static_cast<ObjectId>(next->total_objects());
   if (next->pivots != nullptr) {
@@ -218,6 +259,7 @@ StatusOr<ObjectId> MetricDatabase::Insert(Vec point, int32_t label) {
   if (mutation_metrics_.inserts != nullptr) {
     mutation_metrics_.inserts->Increment();
   }
+  MaybeAutoCheckpointLocked();
   return id;
 }
 
@@ -233,6 +275,7 @@ Status MetricDatabase::Delete(ObjectId id) {
   if (cur->live_objects() == 1) {
     return Status::InvalidArgument("cannot delete the last live object");
   }
+  MSQ_RETURN_IF_ERROR(LogMutationLocked(WalRecord::Delete(id)));
   auto next = std::make_shared<LiveVersion>(*cur);
   while (next->tombstones.size() <= static_cast<size_t>(id)) {
     next->tombstones.PushBack(0);
@@ -245,6 +288,7 @@ Status MetricDatabase::Delete(ObjectId id) {
   if (mutation_metrics_.deletes != nullptr) {
     mutation_metrics_.deletes->Increment();
   }
+  MaybeAutoCheckpointLocked();
   return Status::OK();
 }
 
@@ -327,6 +371,12 @@ Status MetricDatabase::Save(const std::string& path) {
   // base came from a store — so a reopened database can be mutated and
   // saved to a new path.
   MSQ_RETURN_IF_ERROR(CompactLocked());
+  MSQ_RETURN_IF_ERROR(SaveLocked(path));
+  return BindDurabilityLocked(path);
+}
+
+Status MetricDatabase::WriteStoreLocked(const std::string& tmp_path,
+                                        uint64_t nonce) {
   std::shared_ptr<const LiveVersion> cur = overlay_->Current();
   const Dataset& data = *cur->base_dataset;
   // Serialize the index blob first: for the trees this finalizes the lazy
@@ -343,9 +393,17 @@ Status MetricDatabase::Save(const std::string& path) {
         "database is already backed by a page store; re-saving a reopened "
         "database is not supported");
   }
-  auto created = PageFile::Create(path);
+  auto created = PageFile::Create(tmp_path);
   if (!created.ok()) return created.status();
   std::unique_ptr<PageFile> store = std::move(created).value();
+  if (options_.fault_injector != nullptr) {
+    std::shared_ptr<robust::FaultInjector> inj = options_.fault_injector;
+    store->SetWriteFaultHook(
+        [inj](uint64_t offset, size_t length, size_t* allowed) {
+          return inj->OnWrite(offset, length, allowed);
+        });
+    store->SetFsyncFaultHook([inj] { return inj->OnFsync(); });
+  }
   // Data pages first: a sequential scan of the reopened database walks the
   // file front to back.
   MSQ_RETURN_IF_ERROR(layout->SaveToStore(store.get()));
@@ -358,8 +416,8 @@ Status MetricDatabase::Save(const std::string& path) {
   if (cur->pivots != nullptr) {
     // The pivot table is part of the database: a reopened file filters
     // with exactly the pivots (and counters) the saved one did. Presence
-    // of the "pivots" object is the arming flag — the meta format is
-    // unchanged, so stores without pivots stay readable as before.
+    // of the "pivots" object is the arming flag — stores without pivots
+    // stay readable as before.
     std::ostringstream pivots;
     MSQ_RETURN_IF_ERROR(cur->pivots->SaveTo(pivots));
     MSQ_RETURN_IF_ERROR(store->PutObject("pivots", pivots.str()));
@@ -375,8 +433,132 @@ Status MetricDatabase::Save(const std::string& path) {
   MSQ_RETURN_IF_ERROR(WriteU64(meta, options_.page_size_bytes));
   MSQ_RETURN_IF_ERROR(WriteF64(meta, options_.buffer_fraction));
   MSQ_RETURN_IF_ERROR(WriteU32(meta, options_.xtree_dynamic_build ? 1 : 0));
+  MSQ_RETURN_IF_ERROR(WriteU64(meta, nonce));
   MSQ_RETURN_IF_ERROR(store->PutObject("meta", meta.str()));
-  return store->Sync();
+  MSQ_RETURN_IF_ERROR(store->Sync());
+  return store->Close();
+}
+
+Status MetricDatabase::SaveLocked(const std::string& path) {
+  // Write-to-temp → fsync → rename → fsync(dir): the only mutation of
+  // `path` itself is the atomic rename, so a crash anywhere in this
+  // sequence leaves either the previous file or the new one — never a
+  // truncated or half-written store.
+  const uint64_t nonce = GenerateCheckpointNonce();
+  const std::string tmp = path + kTmpSuffix;
+  Status st = WriteStoreLocked(tmp, nonce);
+  if (st.ok() && options_.fault_injector != nullptr) {
+    st = options_.fault_injector->OnRename();
+  }
+  if (st.ok()) st = DurableRename(tmp, path);
+  if (!st.ok()) {
+    RemoveFileIfExists(tmp);
+    return st;
+  }
+  checkpoint_nonce_ = nonce;
+  return Status::OK();
+}
+
+Status MetricDatabase::BindDurabilityLocked(const std::string& path) {
+  bound_path_ = path;
+  wal_.reset();  // a WAL bound to a previous path is folded or stale
+  if (!options_.durability.wal_enabled) {
+    // No log to keep in sync: drop any leftover one (a stale WAL would be
+    // discarded by nonce anyway; removing it keeps the directory clean).
+    RemoveFileIfExists(path + kWalSuffix);
+    return Status::OK();
+  }
+  Wal::Options wal_options;
+  wal_options.fsync_policy = options_.durability.wal_fsync_policy;
+  wal_options.fsync_every_n = options_.durability.wal_fsync_every_n;
+  wal_options.metrics = options_.multi.metrics;
+  if (options_.fault_injector != nullptr) {
+    std::shared_ptr<robust::FaultInjector> inj = options_.fault_injector;
+    wal_options.write_fault_hook =
+        [inj](uint64_t offset, size_t length, size_t* allowed) {
+          return inj->OnWrite(offset, length, allowed);
+        };
+    wal_options.fsync_fault_hook = [inj] { return inj->OnFsync(); };
+  }
+  // The nonce is fresh, so whatever sits at `<path>.wal` is stale by
+  // definition and OpenForAppend resets it to an empty log.
+  WalReplayResult replay;
+  auto wal = Wal::OpenForAppend(path + kWalSuffix, checkpoint_nonce_,
+                                wal_options, &replay);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal).value();
+  return Status::OK();
+}
+
+Status MetricDatabase::Checkpoint() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return CheckpointLocked();
+}
+
+Status MetricDatabase::CheckpointLocked() {
+  if (bound_path_.empty()) {
+    return Status::InvalidArgument(
+        "Checkpoint() requires a file-bound database (Save or Open(path) "
+        "first)");
+  }
+  std::shared_ptr<const LiveVersion> cur = overlay_->Current();
+  const bool wal_dirty = wal_ != nullptr && wal_->records_appended() > 0;
+  if (!cur->has_overlay() && !wal_dirty) {
+    // Nothing to fold. Heal a missing WAL handle (a previous checkpoint's
+    // WAL swap may have failed under injected faults) so durability is
+    // armed again.
+    if (options_.durability.wal_enabled && wal_ == nullptr) {
+      return BindDurabilityLocked(bound_path_);
+    }
+    return Status::OK();
+  }
+  MSQ_RETURN_IF_ERROR(CompactLocked());
+  MSQ_RETURN_IF_ERROR(SaveLocked(bound_path_));
+  // Checkpoint is durable from here on: even if the WAL swap below fails,
+  // recovery discards the now-stale log by nonce.
+  if (mutation_metrics_.checkpoints != nullptr) {
+    mutation_metrics_.checkpoints->Increment();
+  }
+  return BindDurabilityLocked(bound_path_);
+}
+
+Status MetricDatabase::LogMutationLocked(const WalRecord& record) {
+  if (wal_ != nullptr) return wal_->Append(record);
+  if (options_.durability.wal_enabled && !bound_path_.empty()) {
+    // Durability is armed but the log is gone (failed WAL swap): accepting
+    // the mutation would make it silently undurable.
+    return Status::Unavailable(
+        "mutation WAL unavailable; run Checkpoint() or reopen the database");
+  }
+  return Status::OK();
+}
+
+void MetricDatabase::MaybeAutoCheckpointLocked() {
+  if (wal_ == nullptr || bound_path_.empty()) return;
+  const DatabaseOptions::DurabilityOptions& d = options_.durability;
+  bool trigger = false;
+  if (d.auto_checkpoint_wal_bytes > 0 &&
+      wal_->size_bytes() >= d.auto_checkpoint_wal_bytes) {
+    trigger = true;
+  }
+  if (!trigger && d.auto_checkpoint_tombstone_ratio > 0.0) {
+    std::shared_ptr<const LiveVersion> cur = overlay_->Current();
+    if (cur->total_objects() > 0 &&
+        static_cast<double>(cur->tomb_count) /
+                static_cast<double>(cur->total_objects()) >=
+            d.auto_checkpoint_tombstone_ratio) {
+      trigger = true;
+    }
+  }
+  if (!trigger) return;
+  // Best-effort: the mutation that tripped the threshold is already
+  // durable in the WAL, so a failed fold loses nothing — the next
+  // mutation retries.
+  Status st = CheckpointLocked();
+  if (!st.ok()) {
+    std::fprintf(stderr, "msq: warning: auto-checkpoint of %s failed: %s\n",
+                 bound_path_.c_str(), st.ToString().c_str());
+  }
 }
 
 StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
@@ -392,12 +574,12 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
   MSQ_RETURN_IF_ERROR(ExpectTag(meta, kDbMetaTag, "database metadata"));
   uint32_t version = 0;
   MSQ_RETURN_IF_ERROR(ReadU32(meta, &version));
-  if (version != kDbMetaVersion) {
+  if (version != kDbMetaVersionV1 && version != kDbMetaVersion) {
     return Status::NotSupported("unsupported database format version " +
                                 std::to_string(version));
   }
   uint32_t backend_raw = 0, dim = 0, dynamic_build = 0;
-  uint64_t n = 0, page_size = 0;
+  uint64_t n = 0, page_size = 0, checkpoint_nonce = 0;
   double buffer_fraction = 0.0;
   std::string metric_name;
   MSQ_RETURN_IF_ERROR(ReadU32(meta, &backend_raw));
@@ -407,8 +589,16 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
   MSQ_RETURN_IF_ERROR(ReadU64(meta, &page_size));
   MSQ_RETURN_IF_ERROR(ReadF64(meta, &buffer_fraction));
   MSQ_RETURN_IF_ERROR(ReadU32(meta, &dynamic_build));
+  if (version >= kDbMetaVersion) {
+    MSQ_RETURN_IF_ERROR(ReadU64(meta, &checkpoint_nonce));
+  }
   if (meta.peek() != std::istringstream::traits_type::eof()) {
     return Status::Corruption("trailing bytes after database metadata");
+  }
+  if (version == kDbMetaVersionV1) {
+    // Pre-WAL file: synthesize a stable nonce so staleness detection
+    // still works against any log that might sit next to it.
+    checkpoint_nonce = LegacyNonceFor(*store);
   }
   if (backend_raw > static_cast<uint32_t>(BackendKind::kVaFile) ||
       dim == 0 || n == 0 || page_size == 0 || buffer_fraction < 0.0 ||
@@ -531,6 +721,63 @@ StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(
   }
   db->WireEngine(std::move(base));
   if (pivot_table != nullptr) db->ArmPivots(std::move(pivot_table));
+
+  // --- crash recovery (DESIGN §14) --------------------------------------
+  // Replay any WAL next to the checkpoint through the ordinary mutation
+  // path, so the recovered overlay is bit-identical to the pre-crash one.
+  // The replay runs before the database is bound to the path: the
+  // mutations must not be re-logged while they are read back.
+  const std::string wal_path = path + kWalSuffix;
+  WalReplayResult replay;
+  std::unique_ptr<Wal> wal;
+  if (options.durability.wal_enabled) {
+    Wal::Options wal_options;
+    wal_options.fsync_policy = options.durability.wal_fsync_policy;
+    wal_options.fsync_every_n = options.durability.wal_fsync_every_n;
+    wal_options.metrics = options.multi.metrics;
+    if (options.fault_injector != nullptr) {
+      std::shared_ptr<robust::FaultInjector> inj = options.fault_injector;
+      wal_options.write_fault_hook =
+          [inj](uint64_t offset, size_t length, size_t* allowed) {
+            return inj->OnWrite(offset, length, allowed);
+          };
+      wal_options.fsync_fault_hook = [inj] { return inj->OnFsync(); };
+    }
+    auto opened_wal = Wal::OpenForAppend(wal_path, checkpoint_nonce,
+                                         wal_options, &replay);
+    if (!opened_wal.ok()) return opened_wal.status();
+    wal = std::move(opened_wal).value();
+  } else if (FileExists(wal_path)) {
+    // Durability off, but the file crashed with a log: recover read-only.
+    MSQ_RETURN_IF_ERROR(Wal::Scan(wal_path, checkpoint_nonce, &replay));
+  }
+  for (WalRecord& record : replay.records) {
+    Status applied = Status::OK();
+    switch (record.type) {
+      case WalRecord::Type::kInsert:
+        applied = db->Insert(std::move(record.point), record.label).status();
+        break;
+      case WalRecord::Type::kDelete:
+        applied = db->Delete(static_cast<ObjectId>(record.id));
+        break;
+    }
+    if (!applied.ok()) {
+      return Status::Corruption("wal replay failed: " + applied.ToString());
+    }
+  }
+  db->recovery_.recovered = !replay.records.empty();
+  db->recovery_.replayed_records = replay.records.size();
+  db->recovery_.wal_tail_truncated = replay.tail_truncated;
+  db->recovery_.wal_stale_discarded = replay.stale_discarded;
+  if (db->recovery_.recovered) {
+    if (db->mutation_metrics_.recoveries != nullptr) {
+      db->mutation_metrics_.recoveries->Increment();
+      db->mutation_metrics_.wal_replayed->Add(replay.records.size());
+    }
+  }
+  db->bound_path_ = path;
+  db->checkpoint_nonce_ = checkpoint_nonce;
+  db->wal_ = std::move(wal);
   return db;
 }
 

@@ -37,6 +37,7 @@
 #include "obs/metrics.h"
 #include "scan/linear_scan.h"
 #include "scan/va_file.h"
+#include "storage/wal.h"
 #include "xtree/xtree.h"
 
 namespace msq {
@@ -86,8 +87,30 @@ struct DatabaseOptions {
   /// driven by this injector (crashes, flaky page reads, latency spikes).
   /// The injector is shared so a test / cluster driver can flip faults on a
   /// live database. Unset (the default) leaves the backend unwrapped —
-  /// fault handling then costs nothing at all.
+  /// fault handling then costs nothing at all. Since PR 10 the injector
+  /// also covers the write side: every pwrite/fsync/rename of
+  /// Save/Checkpoint and the WAL routes through it.
   std::shared_ptr<robust::FaultInjector> fault_injector;
+  /// Crash-consistent durability (DESIGN §14). Off by default: an
+  /// in-memory database behaves exactly as before. With wal_enabled, a
+  /// database bound to a file (by Save or Open(path)) appends every
+  /// Insert/Delete to `<path>.wal` before publishing it, Open replays the
+  /// log over the checkpoint, and Checkpoint() folds the overlay into a
+  /// new atomic checkpoint and truncates the log.
+  struct DurabilityOptions {
+    bool wal_enabled = false;
+    WalFsyncPolicy wal_fsync_policy = WalFsyncPolicy::kEveryRecord;
+    /// Records per fsync under WalFsyncPolicy::kEveryN.
+    size_t wal_fsync_every_n = 32;
+    /// Auto-checkpoint when the WAL grows past this many bytes (0 = off).
+    /// This is the background compaction policy of ROADMAP item 2: the
+    /// checkpoint runs on the writer's thread, synchronously, under the
+    /// writer mutex — queries in flight keep their pinned snapshots.
+    uint64_t auto_checkpoint_wal_bytes = 0;
+    /// Auto-checkpoint when tombstones exceed this fraction of the total
+    /// object count (0 = off).
+    double auto_checkpoint_tombstone_ratio = 0.0;
+  } durability;
 };
 
 /// A metric database: dataset + metric + storage organization + engines.
@@ -102,7 +125,22 @@ class MetricDatabase {
   /// Persists the database as one page-store file: data pages first (a
   /// full scan is a sequential pass), then the index blob, labels, and
   /// metadata. Open(path) restores it without rebuilding anything.
+  ///
+  /// Atomic since PR 10: the store is written to `<path>.tmp`, fsynced,
+  /// renamed over `path`, and the directory fsynced — a crash at any
+  /// point leaves either the old file or the new one, intact. Save also
+  /// binds the database to `path`: with durability.wal_enabled a fresh
+  /// `<path>.wal` is attached and subsequent mutations are logged.
   Status Save(const std::string& path);
+
+  /// Folds the accumulated overlay into a new atomic checkpoint at the
+  /// bound path (the one Save or Open(path) used) and truncates the WAL.
+  /// No-op when nothing was mutated. The swap is crash-consistent: each
+  /// checkpoint carries a fresh nonce stored in both the file's metadata
+  /// and the WAL header, so a crash between checkpoint-rename and
+  /// WAL-truncate leaves a stale log that recovery discards instead of
+  /// replaying twice.
+  Status Checkpoint();
 
   /// Opens a database saved with Save. Structural options — backend kind,
   /// page size, buffer fraction — come from the file; `runtime` supplies
@@ -177,6 +215,26 @@ class MetricDatabase {
   /// The reader-epoch machinery (introspection: limbo depth, reclaim lag).
   EpochManager& epochs() { return overlay_->epochs(); }
 
+  // --- durability introspection (DESIGN §14) ----------------------------
+  /// What (if anything) the last Open(path) replayed from the WAL.
+  struct RecoveryInfo {
+    /// A non-empty WAL was replayed over the checkpoint.
+    bool recovered = false;
+    uint64_t replayed_records = 0;
+    /// A torn/corrupt WAL tail was dropped at the first bad frame.
+    bool wal_tail_truncated = false;
+    /// The WAL predated the checkpoint (nonce mismatch) and was discarded.
+    bool wal_stale_discarded = false;
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
+  /// The file this database checkpoints to ("" until Save/Open(path)).
+  const std::string& bound_path() const { return bound_path_; }
+  /// Current WAL file size (0 when no WAL is attached).
+  uint64_t WalSizeBytes() const {
+    return wal_ == nullptr ? 0 : wal_->size_bytes();
+  }
+  bool wal_attached() const { return wal_ != nullptr; }
+
   // --- accounting -------------------------------------------------------
   const QueryStats& stats() const { return stats_; }
   void ResetStats() { stats_ = QueryStats(); }
@@ -244,6 +302,24 @@ class MetricDatabase {
   /// Compact() body; callers hold writer_mu_.
   Status CompactLocked();
 
+  // --- durability internals (callers hold writer_mu_) -------------------
+  /// Writes the current (storeless) base as a page store at `tmp_path`.
+  Status WriteStoreLocked(const std::string& tmp_path, uint64_t nonce);
+  /// Atomic checkpoint write: temp + fsync + rename + dir fsync. On
+  /// success checkpoint_nonce_ is the new nonce.
+  Status SaveLocked(const std::string& path);
+  /// Checkpoint() body: compact, SaveLocked(bound_path_), swap the WAL.
+  Status CheckpointLocked();
+  /// Binds the database to `path` and attaches (or removes) the WAL
+  /// according to durability options.
+  Status BindDurabilityLocked(const std::string& path);
+  /// Appends one mutation to the WAL (no-op without one; an error when
+  /// durability is armed but the WAL is gone — mutations must not be
+  /// silently undurable).
+  Status LogMutationLocked(const WalRecord& record);
+  /// Fires CheckpointLocked when an auto-checkpoint threshold trips.
+  void MaybeAutoCheckpointLocked();
+
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const Metric> metric_;
   DatabaseOptions options_;
@@ -264,6 +340,9 @@ class MetricDatabase {
     obs::Counter* inserts = nullptr;
     obs::Counter* deletes = nullptr;
     obs::Counter* compactions = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* wal_replayed = nullptr;
     obs::Gauge* tombstones_live = nullptr;
     obs::Gauge* delta_objects = nullptr;
     obs::Gauge* epoch_reclaim_lag = nullptr;
@@ -271,6 +350,12 @@ class MetricDatabase {
   MutationInstruments mutation_metrics_;
   /// Updates the mutation gauges from `v` (no-op without a registry).
   void PublishMutationGauges(const LiveVersion& v);
+
+  // --- durability state (guarded by writer_mu_) -------------------------
+  std::string bound_path_;
+  uint64_t checkpoint_nonce_ = 0;
+  std::unique_ptr<Wal> wal_;
+  RecoveryInfo recovery_;
 };
 
 }  // namespace msq

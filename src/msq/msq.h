@@ -68,6 +68,9 @@
 #include "parallel/thread_pool.h"  // IWYU pragma: export
 #include "scan/linear_scan.h"    // IWYU pragma: export
 #include "service/batch_scheduler.h"  // IWYU pragma: export
+#include "storage/fs_util.h"     // IWYU pragma: export
+#include "storage/page_file.h"   // IWYU pragma: export
+#include "storage/wal.h"         // IWYU pragma: export
 #include "scan/va_file.h"        // IWYU pragma: export
 #include "xtree/xtree.h"         // IWYU pragma: export
 

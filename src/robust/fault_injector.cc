@@ -1,5 +1,6 @@
 #include "robust/fault_injector.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace msq::robust {
@@ -15,6 +16,10 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
         reg->GetCounter("msq_fault_injected_total", help, "kind=\"page_read\"");
     latency_faults_ =
         reg->GetCounter("msq_fault_injected_total", help, "kind=\"latency\"");
+    write_faults_ =
+        reg->GetCounter("msq_fault_injected_total", help, "kind=\"write\"");
+    fsync_faults_ =
+        reg->GetCounter("msq_fault_injected_total", help, "kind=\"fsync\"");
   }
 }
 
@@ -27,6 +32,8 @@ void FaultInjector::Restore() {
   std::lock_guard<std::mutex> lock(mu_);
   crashed_ = false;
   crash_after_ = -1;
+  write_crash_after_ = -1;
+  torn_bytes_ = 0;
 }
 
 void FaultInjector::CrashAfterPageReads(int n) {
@@ -91,6 +98,69 @@ Status FaultInjector::OnPageRead(PageId page) {
     std::this_thread::sleep_for(plan_.latency_spike);
   }
   return Status::OK();
+}
+
+void FaultInjector::CrashAfterWriteOps(int n, size_t torn_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_crash_after_ = n;
+  torn_bytes_ = torn_bytes;
+}
+
+void FaultInjector::FailNextFsyncs(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_fsyncs_ += n;
+}
+
+Status FaultInjector::OnWrite(uint64_t offset, size_t length,
+                              size_t* allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++write_ops_;
+  if (write_crash_after_ == 0) {
+    // The power cut lands *inside* this pwrite: at most torn_bytes_ of
+    // its payload reach the platter, then the machine is gone.
+    crashed_ = true;
+    write_crash_after_ = -1;
+    *allowed = std::min(torn_bytes_, length);
+    ++faults_injected_;
+    if (write_faults_ != nullptr) write_faults_->Increment();
+    return Status::Unavailable(
+        "server crashed during write at offset " + std::to_string(offset));
+  }
+  if (crashed_) {
+    ++faults_injected_;
+    if (crash_faults_ != nullptr) crash_faults_->Increment();
+    *allowed = 0;
+    return Status::Unavailable("server down: write at offset " +
+                               std::to_string(offset) + " unreachable");
+  }
+  if (write_crash_after_ > 0) --write_crash_after_;
+  return Status::OK();
+}
+
+Status FaultInjector::OnFsync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    ++faults_injected_;
+    if (crash_faults_ != nullptr) crash_faults_->Increment();
+    return Status::Unavailable("server down: fsync unreachable");
+  }
+  if (fail_next_fsyncs_ > 0) {
+    --fail_next_fsyncs_;
+    ++faults_injected_;
+    if (fsync_faults_ != nullptr) fsync_faults_->Increment();
+    return Status::IOError("injected fsync failure");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnRename() {
+  size_t allowed = 0;
+  return OnWrite(/*offset=*/0, /*length=*/0, &allowed);
+}
+
+uint64_t FaultInjector::write_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_ops_;
 }
 
 uint64_t FaultInjector::faults_injected() const {

@@ -74,6 +74,40 @@ class FaultInjector {
   /// succeeds. Additive with any pending scripted failures.
   void FailNextPageReads(int n);
 
+  // --- write-side faults (DESIGN §14) -----------------------------------
+  // The durability layer routes every pwrite, fsync and rename of
+  // PageFile / Wal / checkpoint through OnWrite/OnFsync/OnRename, so a
+  // crash can be scheduled at *any* write offset of the save / checkpoint
+  // / WAL-append sequence — the kill-at-every-offset recovery matrix
+  // enumerates them via write_ops().
+
+  /// Schedules a deterministic crash mid-write-sequence: the next `n`
+  /// write ops (pwrites and renames) succeed, then op n+1 fails with
+  /// kUnavailable — after laying down at most `torn_bytes` of its payload
+  /// (a short/torn pwrite; pass a sector multiple for sector-granular
+  /// tears, 0 for nothing reaching the disk). Everything after, reads
+  /// included, fails until Restore(). Re-arming replaces any previously
+  /// scheduled write crash.
+  void CrashAfterWriteOps(int n, size_t torn_bytes = 0);
+
+  /// Scripts the next `n` fsyncs to fail with IOError. The file object
+  /// the failure lands on poisons itself (fsyncgate) — that part is the
+  /// file's job, not the injector's.
+  void FailNextFsyncs(int n);
+
+  /// Hook for one positioned write. On a scheduled crash, caps
+  /// `*allowed` to the torn-byte budget and returns kUnavailable.
+  Status OnWrite(uint64_t offset, size_t length, size_t* allowed);
+  /// Hook for one fsync.
+  Status OnFsync();
+  /// Hook for one atomic rename (counts as a write op in the crash
+  /// schedule: the pre-rename boundary is a distinct crash point).
+  Status OnRename();
+
+  /// Write ops (pwrites + renames) observed so far — the matrix runs the
+  /// sequence once cleanly to learn its length, then crashes at every k.
+  uint64_t write_ops() const;
+
   /// The decorator's hook: decides the fate of one page read. Returns OK
   /// (possibly after sleeping out a latency spike), kUnavailable (crashed
   /// server) or kIOError (transient fault). Check order: scheduled crash,
@@ -92,6 +126,10 @@ class FaultInjector {
   bool crashed_ = false;    // guarded by mu_
   int crash_after_ = -1;    // guarded by mu_; < 0 = no crash scheduled
   int fail_next_ = 0;       // guarded by mu_
+  int write_crash_after_ = -1;    // guarded by mu_; < 0 = unarmed
+  size_t torn_bytes_ = 0;         // guarded by mu_
+  int fail_next_fsyncs_ = 0;      // guarded by mu_
+  uint64_t write_ops_ = 0;        // guarded by mu_
   uint64_t faults_injected_ = 0;  // guarded by mu_
   uint64_t spikes_injected_ = 0;  // guarded by mu_
 
@@ -99,6 +137,8 @@ class FaultInjector {
   obs::Counter* crash_faults_ = nullptr;
   obs::Counter* read_faults_ = nullptr;
   obs::Counter* latency_faults_ = nullptr;
+  obs::Counter* write_faults_ = nullptr;
+  obs::Counter* fsync_faults_ = nullptr;
 };
 
 /// QueryBackend decorator routing every checked page read through a

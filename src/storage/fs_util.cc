@@ -1,0 +1,50 @@
+#include "storage/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace msq {
+
+Status FsyncParentDir(const std::string& file_path) {
+  const size_t slash = file_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : file_path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync of directory " + dir +
+                           " failed: " + std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+Status DurableRename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename " + from + " -> " + to +
+                           " failed: " + std::strerror(errno));
+  }
+  return FsyncParentDir(to);
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  ::unlink(path.c_str());  // ENOENT is fine; other errors are best-effort.
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace msq

@@ -1,0 +1,37 @@
+// Small filesystem helpers for crash-consistent persistence.
+//
+// POSIX only promises that a rename is atomic; it does not promise the
+// rename is *durable* until the containing directory has been fsynced.
+// Every atomic-swap in the durability layer (DESIGN §14) goes through
+// DurableRename: write temp → fsync(temp) → rename(temp, dst) →
+// fsync(parent dir), so a crash at any point leaves either the old file
+// or the new file, never a torn mixture and never a dangling entry.
+
+#ifndef MSQ_STORAGE_FS_UTIL_H_
+#define MSQ_STORAGE_FS_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace msq {
+
+/// fsyncs the directory containing `file_path` (the directory entry for
+/// the file, not the file's contents). "" and paths without a separator
+/// sync the current working directory.
+Status FsyncParentDir(const std::string& file_path);
+
+/// Atomically replaces `to` with `from` (same directory) and makes the
+/// swap durable by fsyncing the parent directory. The caller is
+/// responsible for having fsynced `from`'s *contents* first.
+Status DurableRename(const std::string& from, const std::string& to);
+
+/// Best-effort unlink for temp-file cleanup on error paths; never fails.
+void RemoveFileIfExists(const std::string& path);
+
+/// True if `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace msq
+
+#endif  // MSQ_STORAGE_FS_UTIL_H_

@@ -5,8 +5,10 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <sstream>
@@ -101,7 +103,62 @@ PageFile::PageFile(int fd, std::string path, uint32_t block_size,
       writable_(writable) {}
 
 PageFile::~PageFile() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0 && ::close(fd_) != 0) {
+    // Destructors cannot report; anything that cares about close errors
+    // (everything on the durability path) calls Close() explicitly.
+    std::fprintf(stderr, "msq: warning: close(%s) failed: %s\n",
+                 path_.c_str(), std::strerror(errno));
+  }
+}
+
+Status PageFile::Close() {
+  if (fd_ < 0) return poisoned_;
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    Status st = Status::IOError("close of " + path_ +
+                                " failed: " + std::strerror(errno));
+    if (poisoned_.ok()) poisoned_ = st;
+    return st;
+  }
+  return poisoned_;
+}
+
+Status PageFile::WriteAt(const char* data, size_t len, uint64_t offset) {
+  if (!poisoned_.ok()) return poisoned_;
+  if (write_fault_hook_) {
+    size_t allowed = len;
+    Status st = write_fault_hook_(offset, len, &allowed);
+    if (!st.ok()) {
+      // A torn write: the prefix the hook allowed reaches the disk, the
+      // rest never does — exactly what a power cut mid-pwrite leaves.
+      if (allowed > 0) {
+        (void)PwriteAll(fd_, data, std::min(allowed, len), offset);
+      }
+      poisoned_ = st;
+      return st;
+    }
+  }
+  Status st = PwriteAll(fd_, data, len, offset);
+  if (!st.ok()) poisoned_ = st;
+  return st;
+}
+
+Status PageFile::FsyncNow() {
+  if (!poisoned_.ok()) return poisoned_;
+  if (fsync_fault_hook_) {
+    Status st = fsync_fault_hook_();
+    if (!st.ok()) {
+      poisoned_ = st;
+      return st;
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    poisoned_ = Status::IOError("fsync failed: " +
+                                std::string(std::strerror(errno)));
+    return poisoned_;
+  }
+  return Status::OK();
 }
 
 StatusOr<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
@@ -222,8 +279,8 @@ StatusOr<PageFileExtent> PageFile::AppendExtent(const void* data,
     std::memcpy(padded.data(), data, bytes);
     extent.crc = Crc32(padded.data(), padded.size());
     const uint64_t t0 = NowNanos();
-    MSQ_RETURN_IF_ERROR(PwriteAll(fd_, padded.data(), padded.size(),
-                                  extent.first_block * block_size_));
+    MSQ_RETURN_IF_ERROR(WriteAt(padded.data(), padded.size(),
+                                extent.first_block * block_size_));
     io_stats_.writes += 1;
     io_stats_.write_bytes += padded.size();
     io_stats_.write_nanos += NowNanos() - t0;
@@ -253,6 +310,7 @@ Status PageFile::PutObject(const std::string& name,
 
 Status PageFile::PreadBlocks(uint64_t first_block, uint32_t num_blocks,
                              std::string* out) const {
+  if (!poisoned_.ok()) return poisoned_;
   if (read_fault_hook_) {
     MSQ_RETURN_IF_ERROR(read_fault_hook_(first_block));
   }
@@ -340,17 +398,13 @@ Status PageFile::Sync() {
   // Data and table first, then the superblock that points at them: a crash
   // mid-save leaves a file whose superblock never validates, not one that
   // points at garbage.
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("fsync failed: " + std::string(strerror(errno)));
-  }
+  MSQ_RETURN_IF_ERROR(FsyncNow());
   const uint64_t t0 = NowNanos();
-  MSQ_RETURN_IF_ERROR(PwriteAll(fd_, sb.data(), sb.size(), 0));
+  MSQ_RETURN_IF_ERROR(WriteAt(sb.data(), sb.size(), 0));
   io_stats_.writes += 1;
   io_stats_.write_bytes += sb.size();
   io_stats_.write_nanos += NowNanos() - t0;
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("fsync failed: " + std::string(strerror(errno)));
-  }
+  MSQ_RETURN_IF_ERROR(FsyncNow());
   synced_ = true;
   return Status::OK();
 }

@@ -1,0 +1,425 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+#include "storage/fs_util.h"
+
+namespace msq {
+
+namespace {
+
+constexpr size_t kFrameOverhead = 8;  // u32 crc + u32 length
+
+// Payload record-type codes (first byte of every frame payload).
+constexpr uint8_t kTypeHeader = 0;
+constexpr uint8_t kTypeInsert =
+    static_cast<uint8_t>(WalRecord::Type::kInsert);
+constexpr uint8_t kTypeDelete =
+    static_cast<uint8_t>(WalRecord::Type::kDelete);
+
+Status PwriteAllRaw(int fd, const char* data, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, data + done, len - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal pwrite failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Serializes one record's frame payload (type byte + body).
+Status SerializePayload(const WalRecord& record, std::string* out) {
+  std::ostringstream body;
+  switch (record.type) {
+    case WalRecord::Type::kInsert:
+      body.put(static_cast<char>(kTypeInsert));
+      MSQ_RETURN_IF_ERROR(
+          WriteU32(body, static_cast<uint32_t>(record.label)));
+      MSQ_RETURN_IF_ERROR(WriteVector(body, record.point));
+      break;
+    case WalRecord::Type::kDelete:
+      body.put(static_cast<char>(kTypeDelete));
+      MSQ_RETURN_IF_ERROR(WriteU64(body, record.id));
+      break;
+  }
+  *out = body.str();
+  return Status::OK();
+}
+
+Status SerializeHeaderPayload(uint64_t nonce, std::string* out) {
+  std::ostringstream body;
+  body.put(static_cast<char>(kTypeHeader));
+  MSQ_RETURN_IF_ERROR(WriteU32(body, Wal::kMagic));
+  MSQ_RETURN_IF_ERROR(WriteU32(body, Wal::kFormatVersion));
+  MSQ_RETURN_IF_ERROR(WriteU64(body, nonce));
+  *out = body.str();
+  return Status::OK();
+}
+
+/// Wraps a payload in [crc][length][payload]; crc covers length+payload.
+void AppendFrame(const std::string& payload, std::string* out) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  std::string framed;
+  framed.resize(kFrameOverhead + payload.size());
+  std::memcpy(framed.data() + 4, &length, sizeof(length));
+  std::memcpy(framed.data() + 8, payload.data(), payload.size());
+  const uint32_t crc = Crc32(framed.data() + 4, 4 + payload.size());
+  std::memcpy(framed.data(), &crc, sizeof(crc));
+  out->append(framed);
+}
+
+/// Parses the frame at `offset`. Returns true and advances
+/// `*next_offset` past it when the frame is intact; false (torn /
+/// corrupt / incomplete) otherwise. Never throws a Status: any parse
+/// failure is by definition the end of the valid prefix.
+bool ParseFrame(const std::string& bytes, uint64_t offset,
+                std::string* payload, uint64_t* next_offset) {
+  if (offset + kFrameOverhead > bytes.size()) return false;
+  uint32_t crc = 0, length = 0;
+  std::memcpy(&crc, bytes.data() + offset, sizeof(crc));
+  std::memcpy(&length, bytes.data() + offset + 4, sizeof(length));
+  if (length > Wal::kMaxPayloadBytes) return false;
+  if (offset + kFrameOverhead + length > bytes.size()) return false;
+  if (Crc32(bytes.data() + offset + 4, 4 + length) != crc) return false;
+  payload->assign(bytes.data() + offset + kFrameOverhead, length);
+  *next_offset = offset + kFrameOverhead + length;
+  return true;
+}
+
+/// Decodes a non-header payload into a WalRecord.
+Status DecodeRecord(const std::string& payload, WalRecord* out) {
+  if (payload.empty()) return Status::Corruption("empty wal payload");
+  std::istringstream in(payload.substr(1));
+  switch (static_cast<uint8_t>(payload[0])) {
+    case kTypeInsert: {
+      out->type = WalRecord::Type::kInsert;
+      uint32_t label = 0;
+      MSQ_RETURN_IF_ERROR(ReadU32(in, &label));
+      out->label = static_cast<int32_t>(label);
+      MSQ_RETURN_IF_ERROR(ReadVector(in, &out->point));
+      break;
+    }
+    case kTypeDelete: {
+      out->type = WalRecord::Type::kDelete;
+      MSQ_RETURN_IF_ERROR(ReadU64(in, &out->id));
+      break;
+    }
+    default:
+      return Status::Corruption("unknown wal record type");
+  }
+  if (in.peek() != std::istringstream::traits_type::eof()) {
+    return Status::Corruption("trailing bytes in wal record");
+  }
+  return Status::OK();
+}
+
+/// Decodes a header payload; returns the nonce or an error.
+StatusOr<uint64_t> DecodeHeader(const std::string& payload) {
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kTypeHeader) {
+    return Status::Corruption("wal does not start with a header frame");
+  }
+  std::istringstream in(payload.substr(1));
+  uint32_t magic = 0, version = 0;
+  uint64_t nonce = 0;
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &magic));
+  MSQ_RETURN_IF_ERROR(ReadU32(in, &version));
+  MSQ_RETURN_IF_ERROR(ReadU64(in, &nonce));
+  if (magic != Wal::kMagic) return Status::Corruption("bad wal magic");
+  if (version != Wal::kFormatVersion) {
+    return Status::NotSupported("unsupported wal format version");
+  }
+  return nonce;
+}
+
+Status ReadWholeFile(int fd, std::string* out) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError("fstat failed on wal");
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < out->size()) {
+    const ssize_t n = ::pread(fd, out->data() + done, out->size() - done,
+                              static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal pread failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+  out->resize(done);
+  return Status::OK();
+}
+
+/// Shared frame walk: fills `out` from `bytes`, honoring the nonce rule.
+/// Torn/corrupt suffixes set tail_truncated; they are never an error.
+Status ScanBytes(const std::string& bytes, uint64_t expected_nonce,
+                 WalReplayResult* out) {
+  *out = WalReplayResult{};
+  if (bytes.empty()) return Status::OK();
+
+  std::string payload;
+  uint64_t offset = 0, next = 0;
+  if (!ParseFrame(bytes, 0, &payload, &next)) {
+    // Not even a whole header survived: the log dies at byte 0.
+    out->tail_truncated = true;
+    return Status::OK();
+  }
+  auto nonce = DecodeHeader(payload);
+  if (!nonce.ok()) {
+    out->tail_truncated = true;
+    return Status::OK();
+  }
+  out->header_nonce = *nonce;
+  offset = next;
+  out->valid_bytes = next;
+
+  const bool stale = expected_nonce != 0 && *nonce != expected_nonce;
+  while (ParseFrame(bytes, offset, &payload, &next)) {
+    WalRecord record;
+    if (!DecodeRecord(payload, &record).ok()) break;
+    if (!stale) out->records.push_back(std::move(record));
+    offset = next;
+    out->valid_bytes = next;
+  }
+  if (out->valid_bytes < bytes.size()) out->tail_truncated = true;
+  if (stale) {
+    out->stale_discarded = true;
+    out->valid_bytes = 0;  // nothing of the old log is worth keeping
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string WalFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kEveryRecord:
+      return "every_record";
+    case WalFsyncPolicy::kEveryN:
+      return "every_n";
+    case WalFsyncPolicy::kOnCheckpoint:
+      return "on_checkpoint";
+  }
+  return "unknown";
+}
+
+StatusOr<WalFsyncPolicy> WalFsyncPolicyFromName(const std::string& name) {
+  if (name == "every_record") return WalFsyncPolicy::kEveryRecord;
+  if (name == "every_n") return WalFsyncPolicy::kEveryN;
+  if (name == "on_checkpoint") return WalFsyncPolicy::kOnCheckpoint;
+  return Status::InvalidArgument("unknown wal fsync policy: " + name);
+}
+
+WalRecord WalRecord::Insert(Vec point, int32_t label) {
+  WalRecord r;
+  r.type = Type::kInsert;
+  r.point = std::move(point);
+  r.label = label;
+  return r;
+}
+
+WalRecord WalRecord::Delete(uint64_t id) {
+  WalRecord r;
+  r.type = Type::kDelete;
+  r.id = id;
+  return r;
+}
+
+Wal::Wal(int fd, std::string path, const Options& options)
+    : fd_(fd), path_(std::move(path)), options_(options) {
+  write_fault_hook_ = options_.write_fault_hook;
+  fsync_fault_hook_ = options_.fsync_fault_hook;
+  if (options_.metrics != nullptr && options_.metrics->registry() != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics->registry();
+    appends_counter_ = reg->GetCounter("msq_wal_appends_total",
+                                       "Records appended to the mutation WAL");
+    bytes_gauge_ =
+        reg->GetGauge("msq_wal_bytes", "Current mutation-WAL file size");
+  }
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) {
+      std::fprintf(stderr, "msq: warning: close(%s) failed: %s\n",
+                   path_.c_str(), std::strerror(errno));
+    }
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::unique_ptr<Wal>> Wal::OpenForAppend(const std::string& path,
+                                                  uint64_t checkpoint_nonce,
+                                                  const Options& options,
+                                                  WalReplayResult* replay) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto wal = std::unique_ptr<Wal>(new Wal(fd, path, options));
+
+  std::string bytes;
+  MSQ_RETURN_IF_ERROR(ReadWholeFile(fd, &bytes));
+  MSQ_RETURN_IF_ERROR(ScanBytes(bytes, checkpoint_nonce, replay));
+  wal->records_appended_ = replay->records.size();
+
+  const bool needs_header = replay->valid_bytes == 0;
+  const bool needs_truncate =
+      replay->valid_bytes < bytes.size() || replay->stale_discarded;
+  if (needs_truncate) {
+    if (::ftruncate(fd, static_cast<off_t>(replay->valid_bytes)) != 0) {
+      return Status::IOError("wal truncate failed: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  wal->size_bytes_ = replay->valid_bytes;
+  if (needs_header) {
+    std::string payload, frame;
+    MSQ_RETURN_IF_ERROR(SerializeHeaderPayload(checkpoint_nonce, &payload));
+    AppendFrame(payload, &frame);
+    MSQ_RETURN_IF_ERROR(wal->WriteAt(frame.data(), frame.size(), 0));
+    wal->size_bytes_ = frame.size();
+  }
+  if (needs_header || needs_truncate) {
+    // The (possibly fresh) header and the truncation must be durable
+    // before the caller logs against this file.
+    MSQ_RETURN_IF_ERROR(wal->FsyncNow());
+    MSQ_RETURN_IF_ERROR(FsyncParentDir(path));
+  }
+  if (wal->bytes_gauge_ != nullptr) {
+    wal->bytes_gauge_->Set(static_cast<int64_t>(wal->size_bytes_));
+  }
+  return wal;
+}
+
+Status Wal::Scan(const std::string& path, uint64_t expected_nonce,
+                 WalReplayResult* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string bytes;
+  Status st = ReadWholeFile(fd, &bytes);
+  ::close(fd);
+  MSQ_RETURN_IF_ERROR(st);
+  return ScanBytes(bytes, expected_nonce, out);
+}
+
+Status Wal::WriteAt(const char* data, size_t len, uint64_t offset) {
+  if (!poisoned_.ok()) return poisoned_;
+  if (write_fault_hook_) {
+    size_t allowed = len;
+    Status st = write_fault_hook_(offset, len, &allowed);
+    if (!st.ok()) {
+      // Model the torn write: the first `allowed` bytes reached the disk
+      // before the "crash"; the rest never will.
+      if (allowed > 0) {
+        (void)PwriteAllRaw(fd_, data, std::min(allowed, len), offset);
+      }
+      poisoned_ = st;
+      return st;
+    }
+  }
+  Status st = PwriteAllRaw(fd_, data, len, offset);
+  if (!st.ok()) poisoned_ = st;
+  return st;
+}
+
+Status Wal::FsyncNow() {
+  if (!poisoned_.ok()) return poisoned_;
+  if (fsync_fault_hook_) {
+    Status st = fsync_fault_hook_();
+    if (!st.ok()) {
+      poisoned_ = st;
+      return st;
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    poisoned_ = Status::IOError("wal fsync failed: " +
+                                std::string(std::strerror(errno)));
+    return poisoned_;
+  }
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status Wal::MaybePolicySync(size_t appended) {
+  unsynced_records_ += appended;
+  switch (options_.fsync_policy) {
+    case WalFsyncPolicy::kEveryRecord:
+      return FsyncNow();
+    case WalFsyncPolicy::kEveryN:
+      if (unsynced_records_ >= options_.fsync_every_n) return FsyncNow();
+      return Status::OK();
+    case WalFsyncPolicy::kOnCheckpoint:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendFrames(const std::vector<WalRecord>& records) {
+  if (!poisoned_.ok()) return poisoned_;
+  std::string frames;
+  for (const WalRecord& record : records) {
+    std::string payload;
+    MSQ_RETURN_IF_ERROR(SerializePayload(record, &payload));
+    AppendFrame(payload, &frames);
+  }
+  MSQ_RETURN_IF_ERROR(WriteAt(frames.data(), frames.size(), size_bytes_));
+  size_bytes_ += frames.size();
+  records_appended_ += records.size();
+  if (appends_counter_ != nullptr) {
+    appends_counter_->Add(records.size());
+  }
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(size_bytes_));
+  }
+  return MaybePolicySync(records.size());
+}
+
+Status Wal::Append(const WalRecord& record) {
+  return AppendFrames({record});
+}
+
+Status Wal::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::OK();
+  return AppendFrames(records);
+}
+
+Status Wal::Sync() { return FsyncNow(); }
+
+Status Wal::Close() {
+  if (fd_ < 0) return poisoned_;
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    Status st = Status::IOError("wal close failed: " +
+                                std::string(std::strerror(errno)));
+    if (poisoned_.ok()) poisoned_ = st;
+    return st;
+  }
+  return poisoned_;
+}
+
+}  // namespace msq

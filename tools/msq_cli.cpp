@@ -9,6 +9,9 @@
 //   msq_cli query    db=/tmp/astro.msq k=10 object=42
 //   msq_cli insert   db=/tmp/astro.msq data=/tmp/new.bin
 //   msq_cli delete   db=/tmp/astro.msq ids=3,17,42
+//   msq_cli insert   db=/tmp/astro.msq data=/tmp/new.bin wal=1
+//   msq_cli checkpoint db=/tmp/astro.msq
+//   msq_cli scrub    db=/tmp/astro.msq
 //
 // The binary dataset format is produced/consumed by Dataset::SaveBinary /
 // LoadBinary; `generate` also accepts out=*.csv. `save` persists the built
@@ -20,8 +23,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 
+#include "common/serialize.h"
 #include "msq/msq.h"
 
 namespace {
@@ -272,8 +277,28 @@ int CmdSave(int argc, char** argv) {
 }
 
 // Online mutation subcommands (DESIGN §13): mutate a *saved* database and
-// persist the result. Save compacts first, so the written file is always a
-// clean base build — reopening it never replays a delta.
+// persist the result. By default Save compacts first, so the written file
+// is always a clean base build — reopening it never replays a delta. With
+// wal=1 (DESIGN §14) the mutations are instead appended to `<db>.wal` and
+// the command exits *without* rewriting the store: the next open (any
+// subcommand with db=) replays the log, and `checkpoint` folds it.
+
+void DefineWalFlags(Flags* flags) {
+  flags->Define("wal", "0",
+                "1 = log mutations to <db>.wal instead of rewriting the "
+                "store (crash-safe; no out= allowed)");
+  flags->Define("fsync", "every_record",
+                "WAL fsync policy: every_record | every_n | on_checkpoint");
+}
+
+StatusOr<DatabaseOptions> WalOptionsFromFlags(const Flags& flags) {
+  DatabaseOptions options;
+  options.durability.wal_enabled = true;
+  auto policy = WalFsyncPolicyFromName(flags.GetString("fsync"));
+  if (!policy.ok()) return policy.status();
+  options.durability.wal_fsync_policy = *policy;
+  return options;
+}
 
 int CmdInsert(int argc, char** argv) {
   Flags flags;
@@ -281,11 +306,23 @@ int CmdInsert(int argc, char** argv) {
   flags.Define("data", "new.bin",
                "dataset file (.bin or .csv) whose objects are inserted");
   flags.Define("out", "", "write the mutated database here (default: db=)");
+  DefineWalFlags(&flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
   }
-  auto db = MetricDatabase::Open(flags.GetString("db"));
+  const bool use_wal = flags.GetBool("wal");
+  DatabaseOptions options;
+  if (use_wal) {
+    if (!flags.GetString("out").empty()) {
+      std::fprintf(stderr, "wal=1 mutates <db> in place; out= not allowed\n");
+      return 1;
+    }
+    auto wal_options = WalOptionsFromFlags(flags);
+    if (!wal_options.ok()) return Fail(wal_options.status());
+    options = std::move(wal_options).value();
+  }
+  auto db = MetricDatabase::Open(flags.GetString("db"), options);
   if (!db.ok()) return Fail(db.status());
   auto additions = LoadData(flags.GetString("data"));
   if (!additions.ok()) return Fail(additions.status());
@@ -303,6 +340,15 @@ int CmdInsert(int argc, char** argv) {
     if (i == 0) first = *id;
     last = *id;
   }
+  if (use_wal) {
+    std::printf(
+        "inserted %zu objects (ids %u..%u) into the WAL of %s "
+        "(%llu bytes) in %.1f ms; next open replays them\n",
+        additions->size(), first, last, flags.GetString("db").c_str(),
+        static_cast<unsigned long long>((*db)->WalSizeBytes()),
+        timer.ElapsedMillis());
+    return 0;
+  }
   std::string out = flags.GetString("out");
   if (out.empty()) out = flags.GetString("db");
   if (Status s = (*db)->Save(out); !s.ok()) return Fail(s);
@@ -319,11 +365,23 @@ int CmdDelete(int argc, char** argv) {
   flags.Define("db", "db.msq", "saved page-store database to mutate");
   flags.Define("ids", "", "comma-separated object ids to delete");
   flags.Define("out", "", "write the mutated database here (default: db=)");
+  DefineWalFlags(&flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::printf("%s\n", s.message().c_str());
     return s.IsNotFound() ? 0 : 1;
   }
-  auto db = MetricDatabase::Open(flags.GetString("db"));
+  const bool use_wal = flags.GetBool("wal");
+  DatabaseOptions options;
+  if (use_wal) {
+    if (!flags.GetString("out").empty()) {
+      std::fprintf(stderr, "wal=1 mutates <db> in place; out= not allowed\n");
+      return 1;
+    }
+    auto wal_options = WalOptionsFromFlags(flags);
+    if (!wal_options.ok()) return Fail(wal_options.status());
+    options = std::move(wal_options).value();
+  }
+  auto db = MetricDatabase::Open(flags.GetString("db"), options);
   if (!db.ok()) return Fail(db.status());
   const std::string ids = flags.GetString("ids");
   if (ids.empty()) {
@@ -348,6 +406,15 @@ int CmdDelete(int argc, char** argv) {
     }
     ++deleted;
   }
+  if (use_wal) {
+    std::printf(
+        "deleted %zu objects via the WAL of %s (%llu bytes) in %.1f ms; "
+        "next open replays the tombstones\n",
+        deleted, flags.GetString("db").c_str(),
+        static_cast<unsigned long long>((*db)->WalSizeBytes()),
+        timer.ElapsedMillis());
+    return 0;
+  }
   std::string out = flags.GetString("out");
   if (out.empty()) out = flags.GetString("db");
   if (Status s = (*db)->Save(out); !s.ok()) return Fail(s);
@@ -356,6 +423,122 @@ int CmdDelete(int argc, char** argv) {
       "in %.1f ms\n",
       deleted, (*db)->NumLiveObjects(), out.c_str(), timer.ElapsedMillis());
   return 0;
+}
+
+// Folds a replayed WAL into a fresh atomic checkpoint and truncates it.
+int CmdCheckpoint(int argc, char** argv) {
+  Flags flags;
+  flags.Define("db", "db.msq", "saved page-store database to checkpoint");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  DatabaseOptions options;
+  options.durability.wal_enabled = true;
+  auto db = MetricDatabase::Open(flags.GetString("db"), options);
+  if (!db.ok()) return Fail(db.status());
+  const auto& recovery = (*db)->recovery();
+  WallTimer timer;
+  if (Status s = (*db)->Checkpoint(); !s.ok()) return Fail(s);
+  std::printf(
+      "checkpointed %s: replayed %llu wal records, %zu live objects, "
+      "wal reset to %llu bytes in %.1f ms\n",
+      flags.GetString("db").c_str(),
+      static_cast<unsigned long long>(recovery.replayed_records),
+      (*db)->NumLiveObjects(),
+      static_cast<unsigned long long>((*db)->WalSizeBytes()),
+      timer.ElapsedMillis());
+  return 0;
+}
+
+// Offline integrity check: re-verifies the superblock, the object table,
+// every named extent's CRC, every data-page extent listed in the "pages"
+// directory, and (if present) the WAL's frames. Exits nonzero on the
+// first corruption so scripts can gate on it.
+int CmdScrub(int argc, char** argv) {
+  Flags flags;
+  flags.Define("db", "db.msq", "saved page-store database to verify");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::printf("%s\n", s.message().c_str());
+    return s.IsNotFound() ? 0 : 1;
+  }
+  const std::string path = flags.GetString("db");
+  // PageFile::Open already verifies the superblock CRC, the exact file
+  // size, and the object table's CRC.
+  auto opened = PageFile::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "scrub %s: superblock/object table: %s\n",
+                 path.c_str(), opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<PageFile> store = std::move(opened).value();
+  std::printf("scrub %s: superblock OK (%u-byte blocks, %llu blocks)\n",
+              path.c_str(), store->block_size(),
+              static_cast<unsigned long long>(store->num_blocks()));
+  bool ok = true;
+  std::string bytes;
+  for (const auto& [name, extent] : store->objects()) {
+    const Status read = store->ReadExtent(extent, &bytes);
+    std::printf("  object %-8s blocks %llu+%u  %u bytes  %s\n", name.c_str(),
+                static_cast<unsigned long long>(extent.first_block),
+                extent.num_blocks, extent.byte_length,
+                read.ok() ? "OK" : read.ToString().c_str());
+    ok = ok && read.ok();
+  }
+  // Data pages: walk the "pages" directory and re-read every page extent.
+  if (store->HasObject("pages") && store->GetObject("pages", &bytes).ok()) {
+    std::istringstream dir(bytes);
+    uint32_t tag = 0, version = 0, dim = 0;
+    uint64_t num_pages = 0, total_objects = 0;
+    bool dir_ok = ReadU32(dir, &tag).ok() && ReadU32(dir, &version).ok() &&
+                  ReadU32(dir, &dim).ok() && ReadU64(dir, &num_pages).ok() &&
+                  ReadU64(dir, &total_objects).ok();
+    uint64_t bad_pages = 0;
+    for (uint64_t p = 0; dir_ok && p < num_pages; ++p) {
+      uint32_t count = 0;
+      PageFileExtent extent;
+      dir_ok = ReadU32(dir, &count).ok() &&
+               ReadU64(dir, &extent.first_block).ok() &&
+               ReadU32(dir, &extent.num_blocks).ok() &&
+               ReadU32(dir, &extent.byte_length).ok() &&
+               ReadU32(dir, &extent.crc).ok();
+      if (!dir_ok) break;
+      if (Status read = store->ReadExtent(extent, &bytes); !read.ok()) {
+        std::printf("  page %llu: %s\n",
+                    static_cast<unsigned long long>(p),
+                    read.ToString().c_str());
+        ++bad_pages;
+      }
+    }
+    if (!dir_ok) {
+      std::printf("  page directory: unparsable\n");
+      ok = false;
+    } else {
+      std::printf("  data pages: %llu/%llu OK (%llu objects)\n",
+                  static_cast<unsigned long long>(num_pages - bad_pages),
+                  static_cast<unsigned long long>(num_pages),
+                  static_cast<unsigned long long>(total_objects));
+      ok = ok && bad_pages == 0;
+    }
+  }
+  // The WAL, if one sits next to the store: frame-level validity only
+  // (nonce matching is recovery's job; scrub reports what it sees).
+  const std::string wal_path = path + ".wal";
+  if (FileExists(wal_path)) {
+    WalReplayResult replay;
+    if (Status s = Wal::Scan(wal_path, /*expected_nonce=*/0, &replay);
+        !s.ok()) {
+      std::printf("  wal: %s\n", s.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("  wal: %zu records, %llu valid bytes%s\n",
+                  replay.records.size(),
+                  static_cast<unsigned long long>(replay.valid_bytes),
+                  replay.tail_truncated ? " (torn tail dropped)" : "");
+    }
+  }
+  std::printf("scrub %s: %s\n", path.c_str(), ok ? "OK" : "CORRUPT");
+  return ok ? 0 : 1;
 }
 
 int CmdBatch(int argc, char** argv) {
@@ -429,7 +612,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <generate|info|query|batch|dbscan|save|insert|"
-                 "delete> [key=value...]\n",
+                 "delete|checkpoint|scrub> [key=value...]\n",
                  argv[0]);
     return 1;
   }
@@ -444,6 +627,8 @@ int main(int argc, char** argv) {
   if (command == "save") return CmdSave(argc - 1, argv + 1);
   if (command == "insert") return CmdInsert(argc - 1, argv + 1);
   if (command == "delete") return CmdDelete(argc - 1, argv + 1);
+  if (command == "checkpoint") return CmdCheckpoint(argc - 1, argv + 1);
+  if (command == "scrub") return CmdScrub(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }
