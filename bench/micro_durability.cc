@@ -183,6 +183,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     const uint64_t replayed = (*reopened)->recovery().replayed_records;
+    // The log length recovery replayed — captured now, because the
+    // verification Compact below is a full checkpoint on a WAL-attached
+    // database and truncates the log.
+    const uint64_t replayed_wal_bytes = (*reopened)->WalSizeBytes();
 
     // The recovered database must answer bit-identically to a fresh build
     // of the same final object set (quiesced equality over recovery).
@@ -227,8 +231,7 @@ int main(int argc, char** argv) {
       json.Int("replayed", static_cast<int64_t>(replayed));
       json.Int("replay_exact", replay_exact ? 1 : 0);
       json.Int("recovered_identical", identical ? 1 : 0);
-      json.Int("wal_bytes", static_cast<int64_t>(
-                                (*reopened)->WalSizeBytes()));
+      json.Int("wal_bytes", static_cast<int64_t>(replayed_wal_bytes));
       json.Num("recover_ms", recover_ms);
     }
     ok = ok && replay_exact && identical;

@@ -26,8 +26,11 @@ constexpr uint32_t kDbMetaVersionV1 = 1;
 constexpr uint32_t kDbMetaVersion = 2;
 
 /// Fresh checkpoint nonce: random, never zero (0 means "no nonce").
+/// thread_local: std::random_device is not required to be thread-safe, and
+/// two MetricDatabase instances checkpointing concurrently hold only their
+/// own writer_mu_.
 uint64_t GenerateCheckpointNonce() {
-  static std::random_device entropy;
+  thread_local std::random_device entropy;
   const uint64_t mixed =
       (static_cast<uint64_t>(entropy()) << 32) ^ entropy() ^
       static_cast<uint64_t>(
@@ -259,7 +262,13 @@ StatusOr<ObjectId> MetricDatabase::Insert(Vec point, int32_t label) {
   if (mutation_metrics_.inserts != nullptr) {
     mutation_metrics_.inserts->Increment();
   }
-  MaybeAutoCheckpointLocked();
+  if (MaybeAutoCheckpointLocked()) {
+    // The auto-checkpoint folded the overlay and renumbered survivors.
+    // The object just inserted is last in insertion order, so its
+    // post-fold id is the highest live one — return that, not the stale
+    // pre-fold id.
+    return static_cast<ObjectId>(overlay_->Current()->total_objects() - 1);
+  }
   return id;
 }
 
@@ -294,6 +303,17 @@ Status MetricDatabase::Delete(ObjectId id) {
 
 Status MetricDatabase::Compact() {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  // A compaction renumbers survivors, but recovery replays the whole WAL
+  // against the pre-compaction checkpoint — a Delete logged after a bare
+  // in-memory fold would tombstone the wrong object after a crash. With
+  // durability armed, fold through a full checkpoint instead: the
+  // renumbered base lands on disk under a fresh nonce and the old log is
+  // retired before any post-compaction record can reference the new id
+  // space. (Also heals a detached WAL, like any checkpoint.)
+  if (wal_ != nullptr ||
+      (options_.durability.wal_enabled && !bound_path_.empty())) {
+    return CheckpointLocked();
+  }
   return CompactLocked();
 }
 
@@ -370,8 +390,23 @@ Status MetricDatabase::Save(const std::string& path) {
   // overlays, and the compacted base is storeless even when the previous
   // base came from a store — so a reopened database can be mutated and
   // saved to a new path.
+  const bool had_overlay = overlay_->Current()->has_overlay();
   MSQ_RETURN_IF_ERROR(CompactLocked());
-  MSQ_RETURN_IF_ERROR(SaveLocked(path));
+  bool rename_attempted = false;
+  Status saved = SaveLocked(path, &rename_attempted);
+  if (!saved.ok()) {
+    if (wal_ != nullptr &&
+        (had_overlay || (rename_attempted && path == bound_path_))) {
+      // Either the fold just renumbered ids under the attached log, or
+      // the failed save targeted this log's own checkpoint and its rename
+      // may already have landed with a new nonce. Records appended from
+      // here would diverge from what recovery replays, so detach the log:
+      // mutations fail loudly (Unavailable) until a successful
+      // Checkpoint() rebinds.
+      wal_.reset();
+    }
+    return saved;
+  }
   return BindDurabilityLocked(path);
 }
 
@@ -439,18 +474,26 @@ Status MetricDatabase::WriteStoreLocked(const std::string& tmp_path,
   return store->Close();
 }
 
-Status MetricDatabase::SaveLocked(const std::string& path) {
+Status MetricDatabase::SaveLocked(const std::string& path,
+                                  bool* rename_attempted) {
   // Write-to-temp → fsync → rename → fsync(dir): the only mutation of
   // `path` itself is the atomic rename, so a crash anywhere in this
   // sequence leaves either the previous file or the new one — never a
   // truncated or half-written store.
+  if (rename_attempted != nullptr) *rename_attempted = false;
   const uint64_t nonce = GenerateCheckpointNonce();
   const std::string tmp = path + kTmpSuffix;
   Status st = WriteStoreLocked(tmp, nonce);
   if (st.ok() && options_.fault_injector != nullptr) {
     st = options_.fault_injector->OnRename();
   }
-  if (st.ok()) st = DurableRename(tmp, path);
+  if (st.ok()) {
+    // From here on a failure (e.g. the directory fsync, which runs after
+    // the rename is visible) no longer implies the old file survived —
+    // callers must treat the new nonce as possibly durable.
+    if (rename_attempted != nullptr) *rename_attempted = true;
+    st = DurableRename(tmp, path);
+  }
   if (!st.ok()) {
     RemoveFileIfExists(tmp);
     return st;
@@ -504,16 +547,39 @@ Status MetricDatabase::CheckpointLocked() {
   std::shared_ptr<const LiveVersion> cur = overlay_->Current();
   const bool wal_dirty = wal_ != nullptr && wal_->records_appended() > 0;
   if (!cur->has_overlay() && !wal_dirty) {
-    // Nothing to fold. Heal a missing WAL handle (a previous checkpoint's
-    // WAL swap may have failed under injected faults) so durability is
-    // armed again.
+    // Nothing to fold. Heal a detached WAL handle (a previous checkpoint
+    // failed mid-save or mid-swap) by writing a *fresh* checkpoint: the
+    // in-memory state may have diverged from checkpoint+log — a published
+    // fold whose save then faulted leaves the on-disk log holding records
+    // in the pre-fold id space — so rebinding the old log as-is could
+    // replay records against the wrong id space after a later crash.
     if (options_.durability.wal_enabled && wal_ == nullptr) {
+      MSQ_RETURN_IF_ERROR(SaveLocked(bound_path_));
+      if (mutation_metrics_.checkpoints != nullptr) {
+        mutation_metrics_.checkpoints->Increment();
+      }
       return BindDurabilityLocked(bound_path_);
     }
     return Status::OK();
   }
+  const bool had_overlay = cur->has_overlay();
   MSQ_RETURN_IF_ERROR(CompactLocked());
-  MSQ_RETURN_IF_ERROR(SaveLocked(bound_path_));
+  bool rename_attempted = false;
+  Status saved = SaveLocked(bound_path_, &rename_attempted);
+  if (!saved.ok()) {
+    if (wal_ != nullptr && (had_overlay || rename_attempted)) {
+      // SaveLocked can fail *after* its rename landed (the directory
+      // fsync runs once the rename is already visible): the on-disk
+      // checkpoint may then carry the new nonce while wal_ still frames
+      // the old one, so an Append that succeeds from here would be
+      // silently discarded as stale by recovery. And even without the
+      // rename, the fold above renumbered ids under the attached log.
+      // Detach it: mutations fail loudly (Unavailable) until a successful
+      // Checkpoint() rebinds.
+      wal_.reset();
+    }
+    return saved;
+  }
   // Checkpoint is durable from here on: even if the WAL swap below fails,
   // recovery discards the now-stale log by nonce.
   if (mutation_metrics_.checkpoints != nullptr) {
@@ -533,8 +599,8 @@ Status MetricDatabase::LogMutationLocked(const WalRecord& record) {
   return Status::OK();
 }
 
-void MetricDatabase::MaybeAutoCheckpointLocked() {
-  if (wal_ == nullptr || bound_path_.empty()) return;
+bool MetricDatabase::MaybeAutoCheckpointLocked() {
+  if (wal_ == nullptr || bound_path_.empty()) return false;
   const DatabaseOptions::DurabilityOptions& d = options_.durability;
   bool trigger = false;
   if (d.auto_checkpoint_wal_bytes > 0 &&
@@ -550,15 +616,20 @@ void MetricDatabase::MaybeAutoCheckpointLocked() {
       trigger = true;
     }
   }
-  if (!trigger) return;
+  if (!trigger) return false;
   // Best-effort: the mutation that tripped the threshold is already
   // durable in the WAL, so a failed fold loses nothing — the next
   // mutation retries.
+  const uint64_t gen_before = overlay_->Current()->generation;
   Status st = CheckpointLocked();
   if (!st.ok()) {
     std::fprintf(stderr, "msq: warning: auto-checkpoint of %s failed: %s\n",
                  bound_path_.c_str(), st.ToString().c_str());
   }
+  // Even a failed checkpoint may have published its compaction before the
+  // save faulted: report the renumbering whenever the version moved, so
+  // Insert can hand back a post-fold id.
+  return overlay_->Current()->generation != gen_before;
 }
 
 StatusOr<std::unique_ptr<MetricDatabase>> MetricDatabase::Open(

@@ -193,17 +193,28 @@ class MetricDatabase {
   // across a Compact must re-resolve them.
 
   /// Appends an object to the in-memory delta segment. Queries observe it
-  /// from the next call on. Returns the new object's id.
+  /// from the next call on. Returns the new object's id — when an
+  /// auto-checkpoint threshold trips on this very insert, that is the
+  /// *post-fold* id (the fold renumbers survivors; the returned id is
+  /// always valid at return time). Ids obtained from *earlier* calls
+  /// follow the Compact renumbering rule below: with auto-checkpointing
+  /// armed, any mutation may invalidate them.
   StatusOr<ObjectId> Insert(Vec point, int32_t label = kNoLabel);
 
   /// Tombstones an object (base or delta tier). The last live object
   /// cannot be deleted (an empty database cannot be compacted or rebuilt).
+  /// With auto-checkpointing armed, a tripped threshold folds the overlay
+  /// before returning — ids held across this call must be re-resolved.
   Status Delete(ObjectId id);
 
   /// Folds delta + tombstones into a fresh base build (same backend kind,
   /// options, pivot configuration and fault wiring), publishing it as the
   /// next version. Queries in flight finish on their pinned snapshot.
-  /// No-op when nothing was mutated.
+  /// No-op when nothing was mutated. On a durability-armed database (WAL
+  /// attached, or wal_enabled and file-bound) this is a full Checkpoint():
+  /// the renumbered base must land on disk before any post-compaction WAL
+  /// record can reference the new id space, otherwise crash recovery would
+  /// replay those records against the pre-compaction checkpoint.
   Status Compact();
 
   /// The snapshot queries would run against right now.
@@ -228,12 +239,23 @@ class MetricDatabase {
   };
   const RecoveryInfo& recovery() const { return recovery_; }
   /// The file this database checkpoints to ("" until Save/Open(path)).
-  const std::string& bound_path() const { return bound_path_; }
-  /// Current WAL file size (0 when no WAL is attached).
+  /// By value under writer_mu_: safe to call from a monitoring thread
+  /// concurrent with writers (a Save may rebind the path).
+  std::string bound_path() const {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return bound_path_;
+  }
+  /// Current WAL file size (0 when no WAL is attached). Takes writer_mu_:
+  /// a checkpoint on the writer thread swaps the WAL object out while a
+  /// monitoring thread polls this.
   uint64_t WalSizeBytes() const {
+    std::lock_guard<std::mutex> lock(writer_mu_);
     return wal_ == nullptr ? 0 : wal_->size_bytes();
   }
-  bool wal_attached() const { return wal_ != nullptr; }
+  bool wal_attached() const {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return wal_ != nullptr;
+  }
 
   // --- accounting -------------------------------------------------------
   const QueryStats& stats() const { return stats_; }
@@ -306,8 +328,11 @@ class MetricDatabase {
   /// Writes the current (storeless) base as a page store at `tmp_path`.
   Status WriteStoreLocked(const std::string& tmp_path, uint64_t nonce);
   /// Atomic checkpoint write: temp + fsync + rename + dir fsync. On
-  /// success checkpoint_nonce_ is the new nonce.
-  Status SaveLocked(const std::string& path);
+  /// success checkpoint_nonce_ is the new nonce. `rename_attempted`
+  /// (optional) is set when the rename ran — on failure past that point
+  /// the new nonce may already be durable at `path`.
+  Status SaveLocked(const std::string& path,
+                    bool* rename_attempted = nullptr);
   /// Checkpoint() body: compact, SaveLocked(bound_path_), swap the WAL.
   Status CheckpointLocked();
   /// Binds the database to `path` and attaches (or removes) the WAL
@@ -318,7 +343,10 @@ class MetricDatabase {
   /// silently undurable).
   Status LogMutationLocked(const WalRecord& record);
   /// Fires CheckpointLocked when an auto-checkpoint threshold trips.
-  void MaybeAutoCheckpointLocked();
+  /// Returns true when a fold was published (ids renumbered) — even if
+  /// the checkpoint's save then failed — so Insert can return a post-fold
+  /// id.
+  bool MaybeAutoCheckpointLocked();
 
   std::shared_ptr<const Dataset> dataset_;
   std::shared_ptr<const Metric> metric_;
@@ -330,8 +358,9 @@ class MetricDatabase {
   std::atomic<QueryId> next_query_id_;
 
   /// Serializes Insert/Delete/Compact/Save against each other (writers
-  /// never block queries).
-  std::mutex writer_mu_;
+  /// never block queries). mutable: the const durability accessors
+  /// (bound_path, WalSizeBytes, wal_attached) lock it too.
+  mutable std::mutex writer_mu_;
   /// Generation the engine was last wired for; query-side state, touched
   /// only under the external query serialization.
   uint64_t engine_generation_ = 0;

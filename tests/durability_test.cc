@@ -441,6 +441,95 @@ TEST(DurabilityRecoveryTest, CheckpointTruncatesWalAndSurvivesReopen) {
   RemoveDbFiles(path);
 }
 
+TEST(DurabilityRecoveryTest, CompactBetweenLoggedMutationsRecoversExactly) {
+  // Compact() renumbers survivors ("position among survivors"), so a
+  // Delete logged after it references the post-compaction id space. On a
+  // durability-armed database Compact must therefore be a full checkpoint
+  // — otherwise crash recovery would replay that Delete against the
+  // pre-compaction checkpoint and tombstone the wrong object.
+  const Dataset base = MakeUniformDataset(100, 4, 111);
+  const Dataset adds = MakeUniformDataset(2, 4, 112);
+  const Dataset probes = MakeUniformDataset(4, 4, 113);
+  const std::string path = TempPath("durab_compact_mid.msq");
+  RemoveDbFiles(path);
+
+  // Expected survivor set: base minus {7}, plus adds[0]. adds[1] sits at
+  // post-compaction id 100 (99 base survivors, then the two inserts) and
+  // is deleted after the compact.
+  std::vector<Vec> rows;
+  for (ObjectId id = 0; id < base.size(); ++id) {
+    if (id != 7) rows.push_back(base.object(id));
+  }
+  rows.push_back(adds.object(0));
+  const Dataset expected(base.dim(), std::move(rows));
+
+  {
+    auto db = BuildDb(base, WalOptions());
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(db->Save(path).ok());
+    const uint64_t empty_wal = db->WalSizeBytes();  // header only
+    ASSERT_TRUE(db->Insert(adds.object(0)).ok());  // id 100
+    ASSERT_TRUE(db->Insert(adds.object(1)).ok());  // id 101
+    ASSERT_TRUE(db->Delete(7).ok());
+    const uint64_t ckpts = CounterValue("msq_checkpoints_total");
+    ASSERT_TRUE(db->Compact().ok());
+    // The WAL-attached compact checkpointed: the renumbered base is on
+    // disk under a fresh nonce and the old log is retired.
+    EXPECT_EQ(CounterValue("msq_checkpoints_total"), ckpts + 1);
+    EXPECT_TRUE(db->wal_attached());
+    EXPECT_EQ(db->WalSizeBytes(), empty_wal);
+    ASSERT_TRUE(db->Delete(100).ok());  // adds[1], post-compaction id
+    // The database is dropped without a clean shutdown — a crash.
+  }
+  auto reopened = MetricDatabase::Open(path, WalOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // Only the post-compaction Delete is in the log; it must land on
+  // adds[1], not on whatever object held id 100 before the compact.
+  EXPECT_EQ((*reopened)->recovery().replayed_records, 1u);
+  EXPECT_TRUE(MatchesExpected(reopened->get(), expected, probes));
+  RemoveDbFiles(path);
+}
+
+TEST(DurabilityRecoveryTest, FailedCheckpointDetachesWalUntilHealed) {
+  // A checkpoint whose save fails may already have landed its rename (new
+  // nonce durable at the bound path) while the attached WAL still frames
+  // the old nonce — appends would succeed yet be discarded as stale by
+  // recovery. After any failed checkpoint save the log must be detached
+  // (mutations fail Unavailable, never silently undurable) until a clean
+  // Checkpoint() writes a fresh checkpoint and re-arms it.
+  const Dataset base = MakeUniformDataset(60, 4, 121);
+  const Dataset adds = MakeUniformDataset(3, 4, 122);
+  const std::string path = TempPath("durab_ckpt_poison.msq");
+  RemoveDbFiles(path);
+  auto injector =
+      std::make_shared<robust::FaultInjector>(robust::FaultPlan{});
+  auto db = BuildDb(base, WalOptions(injector));
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->Save(path).ok());
+  ASSERT_TRUE(db->Insert(adds.object(0)).ok());
+
+  injector->FailNextFsyncs(1);
+  ASSERT_FALSE(db->Checkpoint().ok());
+  EXPECT_FALSE(db->wal_attached());
+  Status blocked = db->Insert(adds.object(1)).status();
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.IsUnavailable());
+  EXPECT_TRUE(db->Delete(3).IsUnavailable());
+
+  // A clean checkpoint heals: fresh checkpoint + empty re-armed log.
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_TRUE(db->wal_attached());
+  ASSERT_TRUE(db->Insert(adds.object(1)).ok());
+  db.reset();  // crash
+
+  auto reopened = MetricDatabase::Open(path, WalOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // adds[0] was folded by the healing checkpoint; only adds[1] replays.
+  EXPECT_EQ((*reopened)->recovery().replayed_records, 1u);
+  EXPECT_EQ((*reopened)->NumLiveObjects(), base.size() + 2);
+  RemoveDbFiles(path);
+}
+
 TEST(DurabilityRecoveryTest, CheckpointRequiresABoundPath) {
   auto db = BuildDb(MakeUniformDataset(20, 3, 1), DatabaseOptions());
   ASSERT_NE(db, nullptr);
@@ -496,6 +585,47 @@ TEST(DurabilityAutoCheckpointTest, TombstoneRatioThresholdTriggers) {
   ASSERT_TRUE(db->Delete(4).ok());
   EXPECT_EQ(db->NumTombstones(), 0u);
   EXPECT_EQ(db->NumLiveObjects(), base.size() - 5);
+  RemoveDbFiles(path);
+}
+
+TEST(DurabilityAutoCheckpointTest, InsertReturnsPostFoldIdWhenFoldRenumbers) {
+  // When the auto-checkpoint trips on an Insert while tombstones exist,
+  // the fold renumbers survivors before Insert returns — the returned id
+  // must be the post-fold one (valid at return time), not the stale
+  // pre-fold position.
+  const Dataset base = MakeUniformDataset(60, 4, 131);
+  const Dataset adds = MakeUniformDataset(1, 4, 132);
+  const std::string path = TempPath("durab_auto_id.msq");
+
+  // Pass 1: measure the WAL size after one Delete, so pass 2 can arm a
+  // byte threshold that only the *second* mutation (the Insert) trips.
+  uint64_t delete_bytes = 0;
+  {
+    RemoveDbFiles(path);
+    auto db = BuildDb(base, WalOptions());
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(db->Save(path).ok());
+    ASSERT_TRUE(db->Delete(3).ok());
+    delete_bytes = db->WalSizeBytes();
+  }
+  RemoveDbFiles(path);
+
+  DatabaseOptions options = WalOptions();
+  options.durability.auto_checkpoint_wal_bytes = delete_bytes + 1;
+  auto db = BuildDb(base, options);
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->Save(path).ok());
+  ASSERT_TRUE(db->Delete(3).ok());
+  EXPECT_EQ(db->NumTombstones(), 1u);  // below the threshold: no fold yet
+  auto id = db->Insert(adds.object(0));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // The insert tripped the fold: the tombstone is reclaimed and survivors
+  // renumbered. The pre-fold id would have been 60; the post-fold one is
+  // 59 (59 base survivors, then the insert) and must resolve to the
+  // inserted row.
+  EXPECT_EQ(db->NumTombstones(), 0u);
+  EXPECT_EQ(*id, base.size() - 1);
+  EXPECT_EQ(db->backend().ObjectVec(*id), adds.object(0));
   RemoveDbFiles(path);
 }
 
@@ -765,6 +895,41 @@ TEST(DurabilityStressTest, ConcurrentWalWritersAndQueries) {
   EXPECT_EQ((*reopened)->recovery().replayed_records,
             static_cast<uint64_t>(kWriters * kInsertsPerWriter));
   EXPECT_EQ((*reopened)->NumLiveObjects(), total);
+  RemoveDbFiles(path);
+}
+
+TEST(DurabilityStressTest, MonitorAccessorsRaceAutoCheckpointWalSwaps) {
+  // The durability accessors (bound_path, WalSizeBytes, wal_attached)
+  // take writer_mu_: a monitoring thread polling them while the writer's
+  // auto-checkpoints swap wal_ out must be race-free — this is the TSan
+  // target for those accessors.
+  const Dataset base = MakeUniformDataset(80, 4, 141);
+  const std::string path = TempPath("durab_monitor.msq");
+  RemoveDbFiles(path);
+  DatabaseOptions options = WalOptions();
+  options.durability.auto_checkpoint_wal_bytes = 1;  // fold every mutation
+  auto db = BuildDb(base, options);
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->Save(path).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      if (db->bound_path().empty()) failed = true;
+      (void)db->WalSizeBytes();
+      (void)db->wal_attached();
+    }
+  });
+  constexpr int kMutations = 40;
+  for (int i = 0; i < kMutations; ++i) {
+    Vec v(4, static_cast<Scalar>(i + 1) / (kMutations + 1));
+    ASSERT_TRUE(db->Insert(std::move(v)).ok());
+  }
+  stop = true;
+  monitor.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(db->NumLiveObjects(), base.size() + kMutations);
   RemoveDbFiles(path);
 }
 
